@@ -1,0 +1,77 @@
+// Ablation: how much lookahead buys welfare, and what it costs in
+// truthfulness (DESIGN.md Section 5; extends the paper's online-vs-offline
+// dichotomy into a spectrum).
+//
+// For batch sizes w between 1 and m, the batched-matching mechanism is run
+// on Table-I workloads next to the paper's two mechanisms. Columns:
+// welfare (claimed, mean over repetitions), overpayment ratio, and whether
+// the Fig. 4 truthfulness audit passes at that w. The punchline: welfare
+// interpolates smoothly, but truthfulness only holds at the extremes
+// (w = m, or w = 1 *with Algorithm 2's payments* -- the online mechanism).
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/truthfulness.hpp"
+#include "auction/batched_matching.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "model/paper_examples.hpp"
+#include "model/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli(
+      "Lookahead ablation: batched matching between the online (w=1) and "
+      "offline (w=m) mechanisms.");
+  cli.add_int("reps", 20, "repetitions per batch size");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  model::WorkloadConfig workload;  // Table-I defaults
+  const Rng parent(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const model::Scenario fig4 = model::fig4_scenario();
+
+  std::cout << "=== Lookahead ablation (Table-I defaults, " << reps
+            << " reps) ===\n\n";
+  io::TextTable table({"mechanism", "welfare", "overpayment", "truthful on Fig.4?"});
+
+  const auto measure = [&](const auction::Mechanism& mechanism) {
+    RunningStats welfare;
+    RunningStats sigma;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+      const model::Scenario s = model::generate_scenario(workload, rng);
+      const model::BidProfile bids = s.truthful_bids();
+      const analysis::RoundMetrics m =
+          analysis::compute_metrics(s, bids, mechanism.run(s, bids));
+      welfare.add(m.social_welfare.to_double());
+      sigma.add(m.overpayment_ratio);
+    }
+    const bool truthful =
+        analysis::audit_truthfulness(mechanism, fig4).truthful();
+    table.add_row({mechanism.name(), io::format_double(welfare.mean(), 1),
+                   io::format_double(sigma.mean(), 4),
+                   truthful ? "yes" : "NO"});
+  };
+
+  measure(auction::OnlineGreedyMechanism{});
+  for (const Slot::rep_type w : {1, 2, 5, 10, 25, 50}) {
+    measure(auction::BatchedMatchingMechanism(
+        auction::BatchedMatchingConfig{w}));
+  }
+  measure(auction::OfflineVcgMechanism{});
+  table.print(std::cout);
+
+  std::cout << "\nwelfare climbs with lookahead and w=50 coincides with the "
+               "offline mechanism, but every finite 1 <= w < m is "
+               "manipulable (delayed arrivals across batch boundaries); "
+               "only Algorithm 2's over-time critical payments make the "
+               "no-lookahead row truthful.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension experiment: learning the reserve price across rounds.
+//
+// A Hedge learner over a grid of reserves plays the truthful online
+// mechanism round after round, scoring arms counterfactually on each
+// realized market. The table shows the learner locking onto the best
+// fixed reserve in hindsight and the per-round regret shrinking -- the
+// platform tunes its knob without ever compromising the phones'
+// incentives.
+#include <iostream>
+
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "sim/adaptive_reserve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli(
+      "Learns the platform's reserve price across rounds (Hedge over a "
+      "reserve grid, platform-utility objective).");
+  cli.add_int("rounds", 80, "rounds to learn over");
+  cli.add_int("seed", 42, "RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::AdaptiveReserveConfig config;
+  config.workload.num_slots = 20;
+  config.workload.phone_arrival_rate = 3.0;
+  config.workload.task_arrival_rate = 1.5;
+  config.workload.mean_cost = 15.0;
+  config.workload.task_value = Money::from_units(40);
+  for (const std::int64_t r : {5, 10, 15, 20, 25, 30, 35}) {
+    config.reserve_grid.push_back(Money::from_units(r));
+  }
+  config.rounds = static_cast<int>(cli.get_int("rounds"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "=== Adaptive reserve pricing (" << config.rounds
+            << " rounds, platform-utility objective) ===\n\n";
+  const sim::AdaptiveReserveResult result = sim::run_adaptive_reserve(config);
+
+  io::TextTable arms({"reserve", "final weight", "cumulative objective",
+                      "best fixed?"});
+  const std::size_t best = result.best_fixed_arm();
+  for (std::size_t arm = 0; arm < config.reserve_grid.size(); ++arm) {
+    arms.add_row({config.reserve_grid[arm].to_string(),
+                  io::format_double(result.final_weights[arm], 4),
+                  io::format_double(result.cumulative_by_arm[arm], 1),
+                  arm == best ? "<= best" : ""});
+  }
+  arms.print(std::cout);
+
+  std::cout << '\n';
+  io::TextTable trace({"round", "played reserve", "objective",
+                       "best-arm objective"});
+  for (const sim::AdaptiveRoundRecord& record : result.rounds) {
+    if (record.round % 10 != 0 && record.round != 1) continue;
+    trace.row()
+        .cell(static_cast<std::int64_t>(record.round))
+        .cell(config.reserve_grid[record.played_arm].to_string())
+        .cell(record.played_objective, 1)
+        .cell(record.best_arm_objective, 1);
+  }
+  trace.print(std::cout);
+
+  std::cout << "\nplayed total "
+            << io::format_double(result.cumulative_played, 1)
+            << " vs best fixed reserve "
+            << config.reserve_grid[best] << " at "
+            << io::format_double(result.cumulative_by_arm[best], 1)
+            << " -- average regret "
+            << io::format_double(result.average_regret(config.rounds), 2)
+            << " per round and shrinking; every round remains exactly "
+               "truthful for the phones.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension experiment: multi-task smartphones (capacitated offline VCG).
+//
+// A supply-constrained campaign (more tasks than phones) is rerun with
+// increasing per-phone capacity. Capacity relieves scarcity: completion
+// and welfare climb until every buffered task can be served, while the
+// payment per served task falls as competition for the marginal task
+// returns. The paper's model is the capacity = 1 row.
+#include <iostream>
+
+#include "auction/capacity_vcg.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "model/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli(
+      "Extension: capacitated offline VCG (phones serve up to k tasks, one "
+      "per slot) on a supply-constrained workload.");
+  cli.add_int("reps", 10, "repetitions per capacity");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  model::WorkloadConfig workload;
+  workload.num_slots = 20;
+  workload.phone_arrival_rate = 1.5;  // scarce supply...
+  workload.task_arrival_rate = 3.0;   // ...relative to demand
+  workload.mean_cost = 20.0;
+  workload.mean_active_length = 5.0;
+  workload.task_value = Money::from_units(50);
+
+  std::cout << "=== Capacitated VCG: welfare vs per-phone capacity ===\n"
+            << "m=20, lambda=1.5 phones/slot vs lambda_t=3 tasks/slot "
+               "(supply-constrained), "
+            << reps << " reps\n\n";
+
+  const Rng parent(static_cast<std::uint64_t>(cli.get_int("seed")));
+  io::TextTable table({"capacity", "welfare", "completion %", "payment/task"});
+  for (int capacity = 1; capacity <= 5; ++capacity) {
+    RunningStats welfare;
+    RunningStats completion;
+    RunningStats payment_per_task;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+      const model::Scenario s = model::generate_scenario(workload, rng);
+      const model::BidProfile bids = s.truthful_bids();
+      const auction::CapacityOutcome outcome = auction::run_capacity_vcg(
+          s, bids, auction::uniform_capacity(s.phone_count(), capacity));
+      welfare.add(outcome.social_welfare(s).to_double());
+      if (s.task_count() > 0) {
+        completion.add(100.0 * outcome.allocated_count() / s.task_count());
+      }
+      if (outcome.allocated_count() > 0) {
+        payment_per_task.add(outcome.total_payment().to_double() /
+                             outcome.allocated_count());
+      }
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(capacity))
+        .cell(welfare.mean(), 1)
+        .cell(completion.mean(), 1)
+        .cell(payment_per_task.mean(), 2);
+  }
+  table.print(std::cout);
+  std::cout << "\ncapacity = 1 is the paper's model; extra capacity converts "
+               "unserved tasks into welfare and pushes per-task payments "
+               "down as marginal competition returns.\n";
+  return 0;
+}

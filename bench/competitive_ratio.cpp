@@ -1,0 +1,114 @@
+// Theorem 6: the online allocation is 1/2-competitive.
+//
+// Three empirical views:
+//  1. the adversarial gadget family where the bound is asymptotically
+//     tight (ratio -> 1/2 from above as nu grows);
+//  2. the ratio distribution over randomized Table-I-style workloads
+//     (min / mean / percentiles, plus a count of sub-1/2 instances, which
+//     must be zero);
+//  3. an ablation of the allocate_only_profitable knob (DESIGN.md Sec. 5).
+#include <iostream>
+
+#include "analysis/charging.hpp"
+#include "analysis/competitive.hpp"
+#include "common/rng.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli("Empirically verifies Theorem 6 (1/2-competitiveness).");
+  cli.add_int("reps", 60, "random instances per study");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "=== Theorem 6: online greedy is 1/2-competitive ===\n\n";
+
+  std::cout << "-- adversarial tight family (3 gadgets per instance) --\n";
+  io::TextTable tight({"nu", "online", "offline", "ratio", "(nu-1)/(2nu-3)"});
+  for (const std::int64_t nu : {5LL, 10LL, 100LL, 1000LL, 100000LL}) {
+    const model::Scenario s = analysis::tight_competitive_scenario(3, nu);
+    const analysis::CompetitiveResult r =
+        analysis::competitive_ratio(s, s.truthful_bids());
+    const double nu_d = static_cast<double>(nu);
+    tight.add_row({std::to_string(nu), r.online_welfare.to_string(),
+                   r.offline_welfare.to_string(),
+                   io::format_double(r.ratio, 6),
+                   io::format_double((nu_d - 1.0) / (2.0 * nu_d - 3.0), 6)});
+  }
+  tight.print(std::cout);
+  std::cout << "ratio approaches 1/2 from above: the bound is tight.\n\n";
+
+  std::cout << "-- randomized workloads (" << reps << " instances) --\n";
+  model::WorkloadConfig workload;
+  workload.num_slots = 30;
+  workload.task_value = Money::from_units(50);
+  io::TextTable random({"workload", "min", "p10", "mean", "max", "below 1/2"});
+  const auto add_study = [&](const std::string& label,
+                             const model::WorkloadConfig& w,
+                             const auction::OnlineGreedyConfig& config) {
+    const analysis::CompetitiveStudy study =
+        analysis::study_competitive_ratio(w, reps, seed, config);
+    random.add_row({label, io::format_double(study.min_ratio(), 4),
+                    io::format_double(study.ratios.quantile(0.1), 4),
+                    io::format_double(study.mean_ratio(), 4),
+                    io::format_double(study.ratios.stats().max(), 4),
+                    std::to_string(study.below_half)});
+  };
+  add_study("table-I defaults (m=30)", workload, {});
+  {
+    model::WorkloadConfig sparse = workload;
+    sparse.phone_arrival_rate = 3.0;  // tight supply -> lower ratios
+    add_study("tight supply (lambda=3)", sparse, {});
+  }
+  {
+    model::WorkloadConfig thin = workload;
+    thin.mean_cost = 24.0;  // costs up to 47, close to nu=50: thin margins
+    add_study("thin margins (c-bar=24)", thin, {});
+  }
+  {
+    // Beyond Theorem 6's implicit assumption: costs can exceed nu, and the
+    // paper-faithful greedy still allocates (negative marginal welfare), so
+    // sub-1/2 ratios are possible here...
+    model::WorkloadConfig pricey = workload;
+    pricey.mean_cost = 40.0;  // costs up to 79 > nu = 50
+    add_study("costs may exceed nu (paper-faithful)", pricey, {});
+    // ...and the profitable-only ablation (DESIGN.md Sec. 5) restores the
+    // positive-weight regime and with it the guarantee.
+    auction::OnlineGreedyConfig profitable;
+    profitable.allocate_only_profitable = true;
+    add_study("ablation: profitable-only, same workload", pricey, profitable);
+  }
+  random.print(std::cout);
+
+  // Mechanized proof: on a sample of in-scope instances, build the
+  // explicit charging certificate (the argument the paper omits) and
+  // re-verify every inequality in it.
+  {
+    model::WorkloadConfig certifiable = workload;
+    certifiable.num_slots = 20;
+    const Rng parent(seed + 1);
+    int verified = 0;
+    for (int k = 0; k < 25; ++k) {
+      Rng rng = parent.fork(static_cast<std::uint64_t>(k));
+      const model::Scenario s = model::generate_scenario(certifiable, rng);
+      const model::BidProfile bids = s.truthful_bids();
+      const analysis::ChargingCertificate certificate =
+          analysis::build_half_competitive_certificate(s, bids);
+      analysis::verify_half_competitive_certificate(certificate, s, bids);
+      ++verified;
+    }
+    std::cout << "\ncharging certificates (the omitted Theorem 6 proof, "
+                 "mechanized): built and re-verified on "
+              << verified << "/25 sampled instances.\n";
+  }
+
+  std::cout << "\nTheorem 6 guarantees 'below 1/2' = 0 whenever every cost "
+               "is at most nu (first three rows and the ablation); the "
+               "paper-faithful rule may dip below 1/2 only when bids exceed "
+               "the task value.\n";
+  return 0;
+}

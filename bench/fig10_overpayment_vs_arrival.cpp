@@ -1,0 +1,10 @@
+// Fig. 10: overpayment ratio sigma vs smartphone arrival rate lambda {4..8}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig10",
+      "sigma stays roughly stable in lambda, with the online ratio "
+      "decreasing slightly (more phones -> cheaper hires); offline > online",
+      argc, argv);
+}

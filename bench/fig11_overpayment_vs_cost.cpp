@@ -1,0 +1,10 @@
+// Fig. 11: overpayment ratio sigma vs average of real costs c-bar {10..50}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig11",
+      "the offline mechanism's overpayment ratio exceeds the online one's "
+      "across the cost range",
+      argc, argv);
+}

@@ -1,0 +1,122 @@
+// Figs. 3, 4 and 5: the paper's worked examples, replayed step by step.
+//
+//  * Fig. 3 -- the bipartite graph the offline mechanism builds;
+//  * Fig. 4 -- the online greedy allocation slot by slot, including the
+//    dynamic pool, plus the Algorithm 2 payment for the paper's phone
+//    (paid exactly 9);
+//  * Fig. 5 -- the per-slot second-price baseline rewarding a delayed
+//    arrival (payment 4 -> 8), i.e. the manipulation that motivates
+//    Algorithm 2.
+#include <iostream>
+
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "auction/second_price.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "model/paper_examples.hpp"
+
+namespace {
+
+void print_fig3() {
+  using namespace mcs;
+  std::cout << "=== Fig. 3: weighted bipartite graph construction ===\n";
+  const model::Scenario s = model::fig3_scenario();
+  std::cout << model::describe(s) << '\n';
+  const matching::WeightMatrix g =
+      auction::OfflineVcgMechanism::build_graph(s, s.truthful_bids());
+  io::TextTable table({"task", "slot", "edges (phone:weight)"});
+  for (int t = 0; t < g.rows(); ++t) {
+    std::string edges;
+    for (int p = 0; p < g.cols(); ++p) {
+      if (const auto w = g.get(t, p)) {
+        if (!edges.empty()) edges += "  ";
+        edges += std::to_string(p + 1) + ':' + w->to_string();
+      }
+    }
+    table.add_row({std::to_string(t),
+                   s.tasks[static_cast<std::size_t>(t)].slot.value() == 1
+                       ? "1"
+                       : "2",
+                   edges});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_fig4() {
+  using namespace mcs;
+  std::cout << "=== Fig. 4: online winning-bids determination ===\n";
+  const model::Scenario s = model::fig4_scenario();
+  std::cout << model::describe(s) << '\n';
+
+  const model::BidProfile bids = s.truthful_bids();
+  const auction::GreedyRun run = auction::run_greedy_allocation(s, bids);
+  io::TextTable table({"slot", "dynamic pool (phone@cost)", "winner"});
+  for (const auction::GreedySlotRecord& record : run.slots) {
+    std::string pool;
+    for (const PhoneId phone : record.pool) {
+      if (!pool.empty()) pool += "  ";
+      pool += std::to_string(phone.value() + 1) + '@' +
+              bids[static_cast<std::size_t>(phone.value())]
+                  .claimed_cost.to_string();
+    }
+    std::string winner;
+    for (const PhoneId phone : record.winners) {
+      winner += std::to_string(phone.value() + 1);
+    }
+    table.add_row({std::to_string(record.slot.value()), pool, winner});
+  }
+  table.print(std::cout);
+  std::cout << "(phone numbers are the paper's 1-based smartphone ids)\n\n";
+
+  const auction::OnlineGreedyMechanism mechanism;
+  const auction::Outcome outcome = mechanism.run(s, bids);
+  std::cout << "Algorithm 2 payment to Smartphone 1: "
+            << outcome.payments[0]
+            << "  (paper's worked example: 9 -- max of the counterfactual "
+               "winners 4, 6, 8, 9)\n\n";
+}
+
+void print_fig5() {
+  using namespace mcs;
+  std::cout << "=== Fig. 5: why per-slot second price fails ===\n";
+  const model::Scenario s = model::fig4_scenario();
+  const auction::SecondPriceBaseline baseline;
+
+  const auction::Outcome truthful = baseline.run_truthful(s);
+  const model::BidProfile delayed = model::with_bid(
+      s.truthful_bids(), PhoneId{0}, model::fig5_delayed_bid_phone1());
+  const auction::Outcome deviant = baseline.run(s, delayed);
+
+  io::TextTable table(
+      {"Smartphone 1 report", "payment", "utility (cost 3)"});
+  table.add_row({"truthful [2,5]", truthful.payments[0].to_string(),
+                 truthful.utility(s, PhoneId{0}).to_string()});
+  table.add_row({"delayed  [4,5]", deviant.payments[0].to_string(),
+                 deviant.utility(s, PhoneId{0}).to_string()});
+  table.print(std::cout);
+  std::cout << "Delaying the reported arrival raises the second-price "
+               "payment from 4 to 8 -- the scheme is not time-truthful.\n\n";
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::Outcome online_truthful = online.run_truthful(s);
+  const auction::Outcome online_deviant = online.run(s, delayed);
+  std::cout << "Under the proposed online mechanism the same deviation "
+            << "yields utility "
+            << online_deviant.utility(s, PhoneId{0}) << " vs truthful "
+            << online_truthful.utility(s, PhoneId{0})
+            << " -- no gain (Theorem 4).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcs::io::CliParser cli(
+      "Replays the paper's worked examples (Figs. 3, 4, 5) step by step.");
+  if (!cli.parse(argc, argv)) return 0;
+  print_fig3();
+  print_fig4();
+  print_fig5();
+  return 0;
+}

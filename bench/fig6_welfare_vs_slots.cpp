@@ -1,0 +1,10 @@
+// Fig. 6: social welfare omega vs number of slots m in {30..80}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig6",
+      "welfare increases with m for both mechanisms; offline >= online and "
+      "the gap widens as m grows",
+      argc, argv);
+}

@@ -1,0 +1,10 @@
+// Fig. 7: social welfare omega vs smartphone arrival rate lambda in {4..8}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig7",
+      "welfare increases with lambda (more phones -> cheaper hires); "
+      "offline >= online",
+      argc, argv);
+}

@@ -1,0 +1,9 @@
+// Fig. 8: social welfare omega vs average of real costs c-bar in {10..50}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig8",
+      "welfare decreases as the average real cost grows; offline >= online",
+      argc, argv);
+}

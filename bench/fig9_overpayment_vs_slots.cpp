@@ -1,0 +1,10 @@
+// Fig. 9: overpayment ratio sigma vs number of slots m in {30..80}.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::run_figure_binary(
+      "fig9",
+      "sigma stays roughly stable in m; the offline mechanism overpays more "
+      "than the online one",
+      argc, argv);
+}

@@ -1,0 +1,52 @@
+// Shared driver for the six evaluation-figure binaries.
+//
+// Each figN binary calls run_figure_binary with its figure id and the
+// paper's expected qualitative shape; the driver parses the common flags,
+// runs the sweep, prints the series as a table, optionally dumps CSV, and
+// echoes the expectation so EXPERIMENTS.md can be checked against the
+// output directly.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "sim/experiments.hpp"
+
+namespace mcs::bench {
+
+inline int run_figure_binary(const std::string& figure_id,
+                             const std::string& expected_shape, int argc,
+                             const char* const* argv) {
+  io::CliParser cli("Reproduces " + figure_id +
+                    " of 'Towards Truthful Mechanisms for Mobile "
+                    "Crowdsourcing with Dynamic Smartphones' (ICDCS 2014).");
+  cli.add_int("reps", 50, "simulation repetitions per sweep point");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_string("csv", "", "also write the series to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sim::FigureSpec& spec = sim::figure(figure_id);
+  sim::SimulationConfig base;
+  base.repetitions = static_cast<int>(cli.get_int("reps"));
+  base.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "=== " << spec.id << ": " << spec.title << " ===\n"
+            << "Table-I defaults, " << base.repetitions
+            << " repetitions per point, seed " << base.base_seed << "\n\n";
+
+  const sim::FigureSeries series = sim::run_figure(spec, base);
+  series.to_table().print(std::cout);
+  std::cout << '\n' << series.to_chart();
+  std::cout << "\nPaper's qualitative shape: " << expected_shape << '\n';
+
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    io::write_csv_file(csv_path, series.header, series.rows);
+    std::cout << "Series written to " << csv_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace mcs::bench

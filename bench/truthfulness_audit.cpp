@@ -1,0 +1,111 @@
+// Theorems 1, 2, 4, 5: truthfulness and individual rationality, verified
+// empirically by exhaustive deviation grids -- and the Fig. 5 negative
+// result for the per-slot second-price baseline on the same instances.
+#include <iostream>
+
+#include "analysis/rationality.hpp"
+#include "analysis/truthfulness.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "auction/second_price.hpp"
+#include "common/rng.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "model/paper_examples.hpp"
+
+namespace {
+
+mcs::model::Scenario random_instance(mcs::Rng& rng) {
+  using namespace mcs;
+  // Scarcity-free family (full-round phones, supply > demand): the regime
+  // in which Theorem 4's critical-value payment is exact (DESIGN.md Sec. 5).
+  const int tasks = static_cast<int>(rng.uniform_int(1, 4));
+  const int phones = tasks + 2 + static_cast<int>(rng.uniform_int(0, 3));
+  model::ScenarioBuilder builder(5);
+  builder.value(80);
+  for (int i = 0; i < phones; ++i) {
+    builder.phone(1, 5, rng.uniform_int(1, 50));
+  }
+  for (int k = 0; k < tasks; ++k) {
+    builder.task(static_cast<mcs::Slot::rep_type>(rng.uniform_int(1, 5)));
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli(
+      "Audits truthfulness (Theorems 1/4) and individual rationality "
+      "(Theorems 2/5) by exhaustive deviation testing; shows the "
+      "second-price baseline failing the same audit (Fig. 5).");
+  cli.add_int("instances", 25, "random instances to audit");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const int instances = static_cast<int>(cli.get_int("instances"));
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::OfflineVcgMechanism offline;
+  const auction::SecondPriceBaseline second_price;
+
+  std::cout << "=== Truthfulness & IR audits ===\n\n";
+  std::cout << "-- the paper's Fig. 4 instance --\n";
+  {
+    const model::Scenario s = model::fig4_scenario();
+    io::TextTable table({"mechanism", "truthfulness audit", "IR audit"});
+    for (const auction::Mechanism* mechanism :
+         std::initializer_list<const auction::Mechanism*>{
+             &online, &offline, &second_price}) {
+      const analysis::TruthfulnessReport truth =
+          analysis::audit_truthfulness(*mechanism, s);
+      const analysis::RationalityReport rationality =
+          analysis::audit_individual_rationality(*mechanism, s);
+      table.add_row({mechanism->name(),
+                     truth.truthful()
+                         ? "PASS (" + std::to_string(truth.deviations_tested) +
+                               " deviations)"
+                         : "FAIL (max gain " + truth.max_gain().to_string() +
+                               ")",
+                     rationality.individually_rational() ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+    std::cout << "the second-price FAIL reproduces Fig. 5: delaying the "
+                 "arrival raises the payment 4 -> 8 (gain 4).\n\n";
+  }
+
+  std::cout << "-- " << instances << " randomized instances --\n";
+  const Rng parent(static_cast<std::uint64_t>(cli.get_int("seed")));
+  int online_violations = 0;
+  int offline_violations = 0;
+  int baseline_violations = 0;
+  int deviations_total = 0;
+  for (int k = 0; k < instances; ++k) {
+    Rng rng = parent.fork(static_cast<std::uint64_t>(k));
+    const model::Scenario s = random_instance(rng);
+    const analysis::TruthfulnessReport on =
+        analysis::audit_truthfulness(online, s);
+    const analysis::TruthfulnessReport off =
+        analysis::audit_truthfulness(offline, s);
+    const analysis::TruthfulnessReport base =
+        analysis::audit_truthfulness(second_price, s);
+    online_violations += static_cast<int>(on.violations.size());
+    offline_violations += static_cast<int>(off.violations.size());
+    baseline_violations += static_cast<int>(base.violations.size());
+    deviations_total += on.deviations_tested;
+  }
+  io::TextTable table({"mechanism", "profitable misreports found"});
+  table.add_row({"online-greedy", std::to_string(online_violations)});
+  table.add_row({"offline-vcg", std::to_string(offline_violations)});
+  table.add_row(
+      {"per-slot-second-price", std::to_string(baseline_violations)});
+  table.print(std::cout);
+  std::cout << '\n'
+            << deviations_total
+            << " deviations tested per mechanism; zero for the proposed "
+               "mechanisms is the empirical face of Theorems 1 and 4. (The "
+               "baseline's guaranteed failure mode is the timing "
+               "manipulation shown on the Fig. 4 instance above.)\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Extension experiment: what XOR multi-window bidding is worth.
+//
+// Commuters are typically available in two disjoint windows (morning and
+// evening). Under the paper's single-bid rule each phone must offer one of
+// them; with XOR bids it offers both (the evening one cheaper -- sensing
+// while charging). The bench compares the offline optimum under three
+// regimes on the same population: everyone forced to their morning window,
+// everyone to their cheaper window, and full XOR bids.
+#include <iostream>
+
+#include "auction/offline_vcg.hpp"
+#include "auction/xor_bids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "model/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  io::CliParser cli(
+      "XOR multi-window bids vs the paper's single-bid rule on a two-peak "
+      "commuter population.");
+  cli.add_int("reps", 20, "repetitions");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  constexpr Slot::rep_type kSlots = 20;  // morning 1-6, evening 13-20
+  const Rng parent(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  RunningStats morning_only;
+  RunningStats cheaper_only;
+  RunningStats xor_bids;
+  RunningStats xor_payment;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+
+    // Population: 14 commuters, each with a morning and an evening window;
+    // evening is cheaper for most (home charger). Tasks arrive in both
+    // peaks.
+    model::ScenarioBuilder builder(kSlots);
+    builder.value(40);
+    const int phones = 14;
+    std::vector<auction::XorBid> options;
+    for (int i = 0; i < phones; ++i) {
+      builder.phone(1, kSlots, 0);  // placeholder true profile
+      const auto m_start = static_cast<Slot::rep_type>(rng.uniform_int(1, 3));
+      const auto m_end = static_cast<Slot::rep_type>(
+          rng.uniform_int(m_start + 1, 6));
+      const auto e_start =
+          static_cast<Slot::rep_type>(rng.uniform_int(13, 16));
+      const auto e_end = static_cast<Slot::rep_type>(
+          rng.uniform_int(e_start + 1, kSlots));
+      const Money m_cost = Money::from_units(rng.uniform_int(10, 30));
+      const Money e_cost = Money::from_units(rng.uniform_int(5, 20));
+      options.push_back(auction::XorBid{
+          auction::BidOption{SlotInterval::of(m_start, m_end), m_cost},
+          auction::BidOption{SlotInterval::of(e_start, e_end), e_cost}});
+    }
+    for (int k = 0; k < 8; ++k) {
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(1, 6)));
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(13, kSlots)));
+    }
+    const model::Scenario s = builder.build();
+
+    // Single-bid regimes: project each XOR bid onto one option.
+    model::BidProfile morning(static_cast<std::size_t>(phones),
+                              model::Bid{SlotInterval::of(1, 1), Money{}});
+    model::BidProfile cheaper = morning;
+    for (int i = 0; i < phones; ++i) {
+      const auction::XorBid& bid = options[static_cast<std::size_t>(i)];
+      morning[static_cast<std::size_t>(i)] =
+          model::Bid{bid[0].window, bid[0].cost};
+      const auction::BidOption& best =
+          bid[0].cost <= bid[1].cost ? bid[0] : bid[1];
+      cheaper[static_cast<std::size_t>(i)] =
+          model::Bid{best.window, best.cost};
+    }
+
+    morning_only.add(
+        auction::OfflineVcgMechanism::optimal_claimed_welfare(s, morning)
+            .to_double());
+    cheaper_only.add(
+        auction::OfflineVcgMechanism::optimal_claimed_welfare(s, cheaper)
+            .to_double());
+    const auction::XorBidProfile profile(options.begin(), options.end());
+    xor_bids.add(auction::optimal_xor_welfare(s, profile).to_double());
+    xor_payment.add(
+        auction::run_xor_vcg(s, profile).payments.empty()
+            ? 0.0
+            : [&] {
+                Money total;
+                for (const Money p :
+                     auction::run_xor_vcg(s, profile).payments) {
+                  total += p;
+                }
+                return total.to_double();
+              }());
+  }
+
+  std::cout << "=== XOR multi-window bids (two-peak commuters, " << reps
+            << " reps) ===\n\n";
+  io::TextTable table({"bidding regime", "optimal welfare (mean)"});
+  table.add_row({"single bid: morning window",
+                 io::format_double(morning_only.mean(), 1)});
+  table.add_row({"single bid: cheaper window",
+                 io::format_double(cheaper_only.mean(), 1)});
+  table.add_row({"XOR: both windows", io::format_double(xor_bids.mean(), 1)});
+  table.print(std::cout);
+  std::cout << "\nXOR payout (VCG, mean): "
+            << io::format_double(xor_payment.mean(), 1)
+            << ". Forcing a single window wastes whichever peak the phone "
+               "did not offer; XOR bids let the optimum spread the same "
+               "population across both peaks -- and Section IV's machinery "
+               "handles it unchanged (best-option matching).\n";
+  return 0;
+}

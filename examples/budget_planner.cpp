@@ -1,0 +1,88 @@
+// Planning a sensing campaign under a payout budget, using the reserve
+// price as the control knob.
+//
+// The paper's mechanisms guarantee truthfulness but not a bounded payout;
+// a deployment usually has a budget. This example sweeps the online
+// mechanism's reserve price over a campaign workload and shows the
+// operator's tradeoff curve: lower reserves cap spending (scarce payments
+// are bounded by the reserve -- see DESIGN.md §5) at the cost of task
+// coverage, and every point of the curve remains exactly truthful. The
+// planner then picks the cheapest reserve whose expected payout fits the
+// budget.
+#include <iostream>
+#include <optional>
+
+#include "analysis/metrics.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "io/table.hpp"
+#include "model/workload.hpp"
+
+int main() {
+  using namespace mcs;
+
+  model::WorkloadConfig campaign;
+  campaign.num_slots = 30;
+  campaign.phone_arrival_rate = 4.0;
+  campaign.task_arrival_rate = 2.0;
+  campaign.mean_cost = 20.0;
+  campaign.task_value = Money::from_units(45);
+
+  const double budget = 1200.0;
+  const int reps = 20;
+
+  std::cout << "Campaign: 30 slots, ~120 phones, ~60 tasks per round; "
+               "payout budget "
+            << budget << " per round.\n\n";
+
+  io::TextTable table(
+      {"reserve", "payout (mean)", "within budget?", "coverage %", "welfare"});
+  std::optional<std::int64_t> chosen;
+  double chosen_welfare = 0.0;
+  const Rng parent(2026);
+  for (const std::int64_t reserve : {10, 15, 20, 25, 30, 35, 40}) {
+    auction::OnlineGreedyConfig config;
+    config.reserve_price = Money::from_units(reserve);
+    const auction::OnlineGreedyMechanism mechanism(config);
+
+    RunningStats payout;
+    RunningStats coverage;
+    RunningStats welfare;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+      const model::Scenario s = model::generate_scenario(campaign, rng);
+      const model::BidProfile bids = s.truthful_bids();
+      const analysis::RoundMetrics m =
+          analysis::compute_metrics(s, bids, mechanism.run(s, bids));
+      payout.add(m.total_payment.to_double());
+      coverage.add(100.0 * m.completion_rate);
+      welfare.add(m.social_welfare.to_double());
+    }
+    const bool fits = payout.mean() <= budget;
+    if (fits) {  // reserves are swept ascending: keep the most generous fit
+      chosen = reserve;
+      chosen_welfare = welfare.mean();
+    }
+    table.row()
+        .cell(reserve)
+        .cell(payout.mean(), 1)
+        .cell(fits ? std::string("yes") : std::string("over"))
+        .cell(coverage.mean(), 1)
+        .cell(welfare.mean(), 1);
+  }
+  table.print(std::cout);
+
+  if (chosen) {
+    std::cout << "\nPlanner's pick: reserve " << *chosen
+              << " -- the most generous reserve whose expected payout fits "
+                 "the budget (expected welfare "
+              << io::format_double(chosen_welfare, 1)
+              << "). Every row is exactly truthful: with a reserve, even "
+                 "scarce winners are paid at most the reserve.\n";
+  } else {
+    std::cout << "\nNo swept reserve fits the budget; lower the reserve "
+                 "further or accept partial coverage.\n";
+  }
+  return 0;
+}

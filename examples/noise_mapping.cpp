@@ -1,0 +1,76 @@
+// Urban noise mapping (the Ear-Phone-style application from the paper's
+// introduction [2]): a city platform continuously crowdsources noise
+// samples from commuters' phones.
+//
+// The example runs several independent auction rounds of the Table-I
+// workload, compares the online mechanism (what such a platform must run:
+// tasks arrive unpredictably) against the offline optimum (the clairvoyant
+// benchmark), and prints the round-by-round ledger a deployment would
+// monitor: welfare, payout, overpayment, and task coverage.
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/rng.hpp"
+#include "io/table.hpp"
+#include "model/workload.hpp"
+
+int main() {
+  using namespace mcs;
+
+  // A midtown sensing campaign: a moderate stream of commuter phones, each
+  // willing to sample noise for a handful of 5-minute slots; sensing
+  // queries (street segments to cover) arrive at ~2 per slot. Costs model
+  // battery + data in cents.
+  model::WorkloadConfig campaign;
+  campaign.num_slots = 40;
+  campaign.phone_arrival_rate = 5.0;
+  campaign.task_arrival_rate = 2.0;
+  campaign.mean_cost = 20.0;
+  campaign.mean_active_length = 4.0;
+  campaign.task_value = Money::from_units(45);
+
+  std::cout << "Noise-mapping campaign: " << campaign.num_slots
+            << " slots/round, lambda=" << campaign.phone_arrival_rate
+            << " phones/slot, " << campaign.task_arrival_rate
+            << " street-segments/slot, nu=" << campaign.task_value << "\n\n";
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::OfflineVcgMechanism offline;
+
+  io::TextTable ledger({"round", "phones", "tasks", "covered", "welfare(on)",
+                        "welfare(off)", "payout(on)", "sigma(on)"});
+  Rng rng(2014);
+  double welfare_online = 0.0;
+  double welfare_offline = 0.0;
+  for (int round = 1; round <= 5; ++round) {
+    const model::Scenario scenario = model::generate_scenario(campaign, rng);
+    const model::BidProfile bids = scenario.truthful_bids();
+
+    const analysis::RoundMetrics on =
+        analysis::compute_metrics(scenario, bids, online.run(scenario, bids));
+    const analysis::RoundMetrics off = analysis::compute_metrics(
+        scenario, bids, offline.run(scenario, bids));
+    welfare_online += on.social_welfare.to_double();
+    welfare_offline += off.social_welfare.to_double();
+
+    ledger.row()
+        .cell(static_cast<std::int64_t>(round))
+        .cell(static_cast<std::int64_t>(scenario.phone_count()))
+        .cell(static_cast<std::int64_t>(on.tasks_total))
+        .cell(on.completion_rate * 100.0, 1)
+        .cell(on.social_welfare.to_double(), 1)
+        .cell(off.social_welfare.to_double(), 1)
+        .cell(on.total_payment.to_double(), 1)
+        .cell(on.overpayment_ratio, 3);
+  }
+  ledger.print(std::cout);
+
+  std::cout << "\nOver 5 rounds the online mechanism captured "
+            << io::format_double(100.0 * welfare_online / welfare_offline, 1)
+            << "% of the clairvoyant offline welfare (Theorem 6 guarantees "
+               ">= 50%), while remaining truthful for commuters whose "
+               "availability the platform cannot verify.\n";
+  return 0;
+}

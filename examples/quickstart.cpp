@@ -1,0 +1,54 @@
+// Quickstart: build a tiny crowdsourcing round by hand, run both truthful
+// mechanisms, and read the outcome. This is the 60-second tour of the
+// public API; see noise_mapping.cpp / traffic_monitoring.cpp for realistic
+// workloads and strategic_user.cpp for the incentive story.
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "model/scenario.hpp"
+
+int main() {
+  using namespace mcs;
+
+  // One round of m = 4 slots. The platform values every completed sensing
+  // task at nu = 15. Three smartphones are active in parts of the round;
+  // three tasks arrive over time.
+  const model::Scenario scenario = model::ScenarioBuilder(4)
+                                       .value(15)
+                                       .phone(1, 2, 4)   // phone 0: slots 1-2, cost 4
+                                       .phone(1, 4, 6)   // phone 1: whole round, cost 6
+                                       .phone(3, 4, 2)   // phone 2: slots 3-4, cost 2
+                                       .task(1)
+                                       .task(3)
+                                       .task(4)
+                                       .build();
+  std::cout << model::describe(scenario);
+
+  // Phones submit bids; here everyone reports truthfully (which both
+  // mechanisms make the best strategy -- see strategic_user.cpp).
+  const model::BidProfile bids = scenario.truthful_bids();
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::OfflineVcgMechanism offline;
+  for (const auction::Mechanism* mechanism :
+       std::initializer_list<const auction::Mechanism*>{&online, &offline}) {
+    const auction::Outcome outcome = mechanism->run(scenario, bids);
+    std::cout << "\n--- " << mechanism->name() << " ---\n";
+    for (const model::Task& task : scenario.tasks) {
+      std::cout << "task " << task.id << " (slot " << task.slot << "): ";
+      if (const auto phone = outcome.allocation.phone_for(task.id)) {
+        std::cout << "phone " << *phone << ", paid "
+                  << outcome.payments[static_cast<std::size_t>(phone->value())]
+                  << '\n';
+      } else {
+        std::cout << "unallocated\n";
+      }
+    }
+    const analysis::RoundMetrics metrics =
+        analysis::compute_metrics(scenario, bids, outcome);
+    std::cout << analysis::describe(metrics);
+  }
+  return 0;
+}

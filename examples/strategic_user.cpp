@@ -1,0 +1,68 @@
+// The incentive story, from a strategic smartphone's point of view.
+//
+// A phone owner wonders: "should I lie to the platform?" This example
+// replays the paper's Fig. 4/5 instance and lets phone 1 (the paper's
+// Smartphone 1) try every strategy in the library -- cost inflation,
+// undercutting, delayed arrival, early departure, random misreports --
+// against three mechanisms. Under the per-slot second-price baseline the
+// delayed arrival pays (the Fig. 5 manipulation); under the paper's two
+// mechanisms no strategy beats honesty.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "auction/second_price.hpp"
+#include "common/rng.hpp"
+#include "io/table.hpp"
+#include "model/paper_examples.hpp"
+#include "model/strategy.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const model::Scenario scenario = model::fig4_scenario();
+  const PhoneId me{0};  // the paper's Smartphone 1: active [2,5], cost 3
+  std::cout << "You are Smartphone 1: active slots [2,5], real cost 3.\n"
+            << "Everyone else reports truthfully. Utility you'd earn under "
+               "each strategy:\n\n";
+
+  std::vector<std::unique_ptr<model::ReportStrategy>> strategies;
+  strategies.push_back(std::make_unique<model::TruthfulStrategy>());
+  strategies.push_back(std::make_unique<model::CostMarkupStrategy>(2.0));
+  strategies.push_back(std::make_unique<model::CostMarkupStrategy>(0.5));
+  strategies.push_back(std::make_unique<model::DelayedArrivalStrategy>(2));
+  strategies.push_back(std::make_unique<model::EarlyDepartureStrategy>(2));
+  strategies.push_back(std::make_unique<model::RandomMisreportStrategy>());
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::OfflineVcgMechanism offline;
+  const auction::SecondPriceBaseline baseline;
+
+  io::TextTable table({"strategy", "online-greedy", "offline-vcg",
+                       "second-price baseline"});
+  Rng rng(99);
+  for (const auto& strategy : strategies) {
+    const model::BidProfile bids =
+        model::apply_single_deviation(scenario, me, *strategy, rng);
+    table.add_row({strategy->name(),
+                   online.run(scenario, bids).utility(scenario, me).to_string(),
+                   offline.run(scenario, bids).utility(scenario, me).to_string(),
+                   baseline.run(scenario, bids)
+                       .utility(scenario, me)
+                       .to_string()});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table:\n"
+      << "  * online-greedy and offline-vcg: no row beats the 'truthful' "
+         "row -- Theorems 1 and 4 in action.\n"
+      << "  * second-price baseline: 'delayed-arrival(+2)' beats honesty "
+         "(the paper's Fig. 5: payment jumps 4 -> 8, utility 1 -> 5).\n"
+      << "  * undercutting (x0.5) never helps and can turn utility "
+         "negative under the baseline: you win slots you are paid too "
+         "little for.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "analysis/metrics.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcs::analysis {
+
+RoundMetrics compute_metrics(const model::Scenario& scenario,
+                             const model::BidProfile& bids,
+                             const auction::Outcome& outcome) {
+  outcome.validate(scenario, bids);
+
+  RoundMetrics metrics;
+  metrics.social_welfare = outcome.social_welfare(scenario);
+  metrics.claimed_welfare = outcome.claimed_welfare(scenario, bids);
+  metrics.total_payment = outcome.total_payment();
+  metrics.total_true_cost = outcome.total_true_cost(scenario);
+  metrics.overpayment = metrics.total_payment - metrics.total_true_cost;
+  metrics.overpayment_ratio =
+      metrics.total_true_cost.is_zero()
+          ? 0.0
+          : metrics.overpayment.ratio_to(metrics.total_true_cost);
+  metrics.tasks_total = scenario.task_count();
+  metrics.tasks_allocated = outcome.allocation.allocated_count();
+  metrics.completion_rate =
+      metrics.tasks_total == 0
+          ? 1.0
+          : static_cast<double>(metrics.tasks_allocated) /
+                static_cast<double>(metrics.tasks_total);
+  Money allocated_value;
+  for (int t = 0; t < outcome.allocation.task_count(); ++t) {
+    if (outcome.allocation.phone_for(TaskId{t})) {
+      allocated_value += scenario.value_of(TaskId{t});
+    }
+  }
+  metrics.platform_utility = allocated_value - metrics.total_payment;
+  return metrics;
+}
+
+std::string describe(const RoundMetrics& m) {
+  std::ostringstream os;
+  os << "  social welfare:    " << m.social_welfare << '\n'
+     << "  claimed welfare:   " << m.claimed_welfare << '\n'
+     << "  total payment:     " << m.total_payment << '\n'
+     << "  total true cost:   " << m.total_true_cost << '\n'
+     << "  overpayment:       " << m.overpayment << " (ratio "
+     << m.overpayment_ratio << ")\n"
+     << "  tasks allocated:   " << m.tasks_allocated << " / " << m.tasks_total
+     << '\n'
+     << "  platform utility:  " << m.platform_utility << '\n';
+  return os.str();
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,41 @@
+// Evaluation metrics (paper Section VI-A).
+//
+// The evaluation reports two headline metrics: social welfare (Definition
+// 3) and the overpayment ratio (Definition 11),
+//
+//    sigma = sum_{winners} (p_i - c_i) / sum_{winners} c_i,
+//
+// i.e. how much the platform pays on top of true costs, relative to those
+// costs. We additionally derive task completion rate and platform utility,
+// which the examples and Table-I bench print for context.
+#pragma once
+
+#include <string>
+
+#include "auction/outcome.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::analysis {
+
+struct RoundMetrics {
+  Money social_welfare;    ///< sum of nu - c_i over allocated tasks
+  Money claimed_welfare;   ///< sum of nu - b_i (what the solver optimized)
+  Money total_payment;     ///< sum of p_i
+  Money total_true_cost;   ///< sum of c_i over winners
+  Money overpayment;       ///< total_payment - total_true_cost
+  double overpayment_ratio{0.0};  ///< sigma; 0 when there are no winners
+  int tasks_total{0};
+  int tasks_allocated{0};
+  double completion_rate{0.0};    ///< allocated / total; 1 when no tasks
+  Money platform_utility;  ///< allocated * nu - total_payment
+};
+
+/// Derives all metrics of one round from its outcome.
+[[nodiscard]] RoundMetrics compute_metrics(const model::Scenario& scenario,
+                                           const model::BidProfile& bids,
+                                           const auction::Outcome& outcome);
+
+/// Multi-line human-readable rendering (examples, Table-I bench).
+[[nodiscard]] std::string describe(const RoundMetrics& metrics);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,42 @@
+#include "analysis/rationality.hpp"
+
+#include <sstream>
+
+namespace mcs::analysis {
+
+std::string RationalityReport::summary() const {
+  std::ostringstream os;
+  os << "checked " << phones_checked << " phones: ";
+  if (individually_rational()) {
+    os << "all utilities nonnegative (individually rational)";
+  } else {
+    os << violations.size() << " phones with negative utility";
+  }
+  return os.str();
+}
+
+RationalityReport check_individual_rationality(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    const auction::Outcome& outcome) {
+  outcome.validate(scenario, bids);
+  RationalityReport report;
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    const PhoneId phone{i};
+    ++report.phones_checked;
+    const Money utility = outcome.utility(scenario, phone);
+    if (utility.is_negative()) {
+      report.violations.push_back(RationalityViolation{
+          phone, utility, outcome.allocation.is_winner(phone)});
+    }
+  }
+  return report;
+}
+
+RationalityReport audit_individual_rationality(
+    const auction::Mechanism& mechanism, const model::Scenario& scenario) {
+  const model::BidProfile bids = scenario.truthful_bids();
+  return check_individual_rationality(scenario, bids,
+                                      mechanism.run(scenario, bids));
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,47 @@
+// Individual-rationality auditing (Definition 5, Theorems 2 and 5).
+//
+// Under truthful reporting every phone's utility must be nonnegative:
+// winners are paid at least their real cost, losers neither pay nor earn.
+// The auditor runs the mechanism on the truthful profile (or any supplied
+// profile whose claimed costs equal real costs) and flags every phone with
+// negative utility, plus losers with nonzero payments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::analysis {
+
+struct RationalityViolation {
+  PhoneId phone{0};
+  Money utility;
+  bool is_winner{false};
+};
+
+struct RationalityReport {
+  int phones_checked{0};
+  std::vector<RationalityViolation> violations;
+
+  [[nodiscard]] bool individually_rational() const {
+    return violations.empty();
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the mechanism on the truthful bid profile and checks u_i >= 0 for
+/// every phone.
+[[nodiscard]] RationalityReport audit_individual_rationality(
+    const auction::Mechanism& mechanism, const model::Scenario& scenario);
+
+/// Checks an already-computed outcome (used when the caller wants the
+/// outcome too, avoiding a second run). `bids` must be the profile the
+/// outcome was produced from.
+[[nodiscard]] RationalityReport check_individual_rationality(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    const auction::Outcome& outcome);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,39 @@
+// Machine-readable round reports.
+//
+// One JSON document per (scenario, mechanism, outcome): scenario shape,
+// the full allocation with payments, and every derived metric. This is the
+// integration surface for external tooling (dashboards, notebooks,
+// regression diffing); `mcs_cli run --json <path>` writes it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "auction/outcome.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::analysis {
+
+/// Writes the report; the document is a single JSON object:
+/// {
+///   "mechanism": "...",
+///   "scenario": { "slots": m, "task_value": nu, "phones": n, "tasks": g },
+///   "metrics": { "social_welfare": ..., "overpayment_ratio": ..., ... },
+///   "allocation": [ { "task": 0, "slot": 1, "value": nu_0,
+///                     "phone": 3, "payment": ... } | unserved entries ],
+///   "phones": [ { "id": 0, "window": [a, d], "claimed_cost": ...,
+///                 "winner": true, "payment": ..., "utility": ... } ]
+/// }
+/// Money fields are emitted as exact decimal strings (Money::to_string).
+void write_round_report_json(std::ostream& os, const model::Scenario& scenario,
+                             const model::BidProfile& bids,
+                             const auction::Outcome& outcome,
+                             const std::string& mechanism_name);
+
+/// String convenience.
+[[nodiscard]] std::string round_report_json(const model::Scenario& scenario,
+                                            const model::BidProfile& bids,
+                                            const auction::Outcome& outcome,
+                                            const std::string& mechanism_name);
+
+}  // namespace mcs::analysis

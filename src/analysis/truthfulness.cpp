@@ -1,0 +1,110 @@
+#include "analysis/truthfulness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcs::analysis {
+
+Money TruthfulnessReport::max_gain() const {
+  Money best;
+  for (const DeviationViolation& v : violations) {
+    best = std::max(best, v.gain());
+  }
+  return best;
+}
+
+std::string TruthfulnessReport::summary() const {
+  std::ostringstream os;
+  os << "audited " << phones_audited << " phones, " << deviations_tested
+     << " deviations: ";
+  if (truthful()) {
+    os << "no profitable misreport (truthful)";
+  } else {
+    os << violations.size() << " profitable misreports, max gain "
+       << max_gain();
+  }
+  return os.str();
+}
+
+std::vector<model::Bid> enumerate_deviations(const model::TrueProfile& profile,
+                                             const DeviationOptions& options) {
+  const Slot::rep_type a = profile.active.begin().value();
+  const Slot::rep_type d = profile.active.end().value();
+
+  // Candidate claimed costs (deduplicated, nonnegative).
+  std::vector<Money> costs;
+  const double true_cost = profile.cost.to_double();
+  for (const double factor : options.cost_factors) {
+    costs.push_back(Money::from_double(true_cost * factor));
+  }
+  for (const std::int64_t offset : options.cost_offsets_units) {
+    costs.push_back(profile.cost + Money::from_units(offset));
+  }
+  costs.push_back(profile.cost);
+  std::erase_if(costs, [](Money m) { return m.is_negative(); });
+  std::sort(costs.begin(), costs.end());
+  costs.erase(std::unique(costs.begin(), costs.end()), costs.end());
+
+  std::vector<model::Bid> deviations;
+  for (Slot::rep_type delay = 0; delay <= options.max_arrival_delay; ++delay) {
+    const Slot::rep_type begin = a + delay;
+    if (begin > d) break;
+    for (Slot::rep_type advance = 0; advance <= options.max_departure_advance;
+         ++advance) {
+      const Slot::rep_type end = d - advance;
+      if (end < begin) break;
+      for (const Money cost : costs) {
+        model::Bid bid{SlotInterval::of(begin, end), cost};
+        if (bid == model::truthful_bid(profile)) continue;
+        MCS_ENSURES(model::is_legal_report(profile, bid),
+                    "enumerated deviation must be legal");
+        deviations.push_back(bid);
+      }
+    }
+  }
+  return deviations;
+}
+
+TruthfulnessReport audit_truthfulness(const auction::Mechanism& mechanism,
+                                      const model::Scenario& scenario,
+                                      const model::BidProfile& base_bids,
+                                      const DeviationOptions& options) {
+  TruthfulnessReport report;
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    const PhoneId phone{i};
+    const model::TrueProfile& profile = scenario.phone(phone);
+
+    // Reference: this phone truthful, others as in base_bids.
+    const model::BidProfile truthful_profile =
+        model::with_bid(base_bids, phone, model::truthful_bid(profile));
+    const Money truthful_utility =
+        mechanism.run(scenario, truthful_profile).utility(scenario, phone);
+
+    ++report.phones_audited;
+    for (const model::Bid& deviation :
+         enumerate_deviations(profile, options)) {
+      const model::BidProfile deviant_profile =
+          model::with_bid(base_bids, phone, deviation);
+      const Money deviant_utility =
+          mechanism.run(scenario, deviant_profile).utility(scenario, phone);
+      ++report.deviations_tested;
+      if (deviant_utility > truthful_utility) {
+        report.violations.push_back(DeviationViolation{
+            phone, deviation, truthful_utility, deviant_utility});
+      }
+    }
+  }
+  return report;
+}
+
+TruthfulnessReport audit_truthfulness(const auction::Mechanism& mechanism,
+                                      const model::Scenario& scenario,
+                                      const DeviationOptions& options) {
+  return audit_truthfulness(mechanism, scenario, scenario.truthful_bids(),
+                            options);
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,81 @@
+// Truthfulness auditing by exhaustive deviation testing (Definition 4).
+//
+// A mechanism is truthful iff no phone can strictly increase its utility by
+// any *legal* misreport (window inside the true one, any claimed cost),
+// whatever the others report. The auditor fixes everyone else's bids,
+// enumerates a grid of legal deviations for one phone at a time -- every
+// (arrival delay, departure advance) pair up to configured limits crossed
+// with a set of cost perturbations -- re-runs the mechanism for each, and
+// compares utilities computed from *true* costs.
+//
+// This is how the library empirically verifies Theorems 1 and 4, and how it
+// reproduces the paper's negative result: on the Fig. 4 instance the
+// per-slot second-price baseline fails the audit with exactly the Fig. 5
+// manipulation (phone 1 delays two slots, gains 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.hpp"
+#include "common/money.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::analysis {
+
+struct DeviationOptions {
+  /// Claimed cost = true cost scaled by each factor...
+  std::vector<double> cost_factors{0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 4.0};
+  /// ...plus true cost shifted by each offset (units).
+  std::vector<std::int64_t> cost_offsets_units{-2, -1, 1, 2, 10};
+  /// Enumerate arrival delays 0..max (clamped to the true window).
+  Slot::rep_type max_arrival_delay = 3;
+  /// Enumerate departure advances 0..max (clamped).
+  Slot::rep_type max_departure_advance = 3;
+};
+
+/// One profitable misreport found by the audit.
+struct DeviationViolation {
+  PhoneId phone{0};
+  model::Bid deviant_bid{SlotInterval::of(1, 1), Money{}};
+  Money truthful_utility;
+  Money deviant_utility;
+
+  [[nodiscard]] Money gain() const {
+    return deviant_utility - truthful_utility;
+  }
+};
+
+struct TruthfulnessReport {
+  int phones_audited{0};
+  int deviations_tested{0};
+  std::vector<DeviationViolation> violations;
+
+  [[nodiscard]] bool truthful() const { return violations.empty(); }
+
+  /// Largest utility gain over all violations (zero when truthful).
+  [[nodiscard]] Money max_gain() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Audits `mechanism` on `scenario` against the given base reports of the
+/// other phones (pass scenario.truthful_bids() for the standard audit).
+/// The phone under audit always deviates from its *true* profile; its entry
+/// in `base_bids` is replaced by its truthful bid when computing the
+/// reference utility.
+[[nodiscard]] TruthfulnessReport audit_truthfulness(
+    const auction::Mechanism& mechanism, const model::Scenario& scenario,
+    const model::BidProfile& base_bids, const DeviationOptions& options = {});
+
+/// Convenience overload: others report truthfully.
+[[nodiscard]] TruthfulnessReport audit_truthfulness(
+    const auction::Mechanism& mechanism, const model::Scenario& scenario,
+    const DeviationOptions& options = {});
+
+/// Enumerates the legal deviation grid for one profile (exposed for tests).
+[[nodiscard]] std::vector<model::Bid> enumerate_deviations(
+    const model::TrueProfile& profile, const DeviationOptions& options);
+
+}  // namespace mcs::analysis

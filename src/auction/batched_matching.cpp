@@ -1,0 +1,94 @@
+#include "auction/batched_matching.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "matching/hungarian.hpp"
+
+namespace mcs::auction {
+
+BatchedMatchingMechanism::BatchedMatchingMechanism(
+    BatchedMatchingConfig config)
+    : config_(config) {
+  MCS_EXPECTS(config.batch_size >= 1, "batch size must be >= 1");
+}
+
+std::string BatchedMatchingMechanism::name() const {
+  std::ostringstream os;
+  os << "batched-matching(w=" << config_.batch_size << ')';
+  return os.str();
+}
+
+Outcome BatchedMatchingMechanism::run(const model::Scenario& scenario,
+                                      const model::BidProfile& bids) const {
+  scenario.validate();
+  model::validate_bids(scenario, bids);
+
+  Outcome outcome;
+  outcome.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  std::vector<char> allocated(scenario.phones.size(), 0);
+  std::size_t task_cursor = 0;  // tasks are sorted by slot
+
+  for (Slot::rep_type batch_begin = 1; batch_begin <= scenario.num_slots;
+       batch_begin += config_.batch_size) {
+    const Slot::rep_type batch_end = std::min<Slot::rep_type>(
+        batch_begin + config_.batch_size - 1, scenario.num_slots);
+
+    // Tasks buffered in this batch.
+    std::vector<TaskId> batch_tasks;
+    while (task_cursor < scenario.tasks.size() &&
+           scenario.tasks[task_cursor].slot.value() <= batch_end) {
+      batch_tasks.push_back(scenario.tasks[task_cursor].id);
+      ++task_cursor;
+    }
+    if (batch_tasks.empty()) continue;
+
+    // Batch graph: buffered tasks x still-unallocated bids, edges where the
+    // reported window covers the task's slot (same construction as the
+    // offline mechanism, restricted to the batch).
+    matching::WeightMatrix graph(static_cast<int>(batch_tasks.size()),
+                                 scenario.phone_count());
+    for (std::size_t r = 0; r < batch_tasks.size(); ++r) {
+      const TaskId task = batch_tasks[r];
+      const Slot slot = scenario.tasks[static_cast<std::size_t>(task.value())].slot;
+      const Money value = scenario.value_of(task);
+      for (int i = 0; i < scenario.phone_count(); ++i) {
+        if (allocated[static_cast<std::size_t>(i)]) continue;
+        const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+        if (bid.window.contains(slot)) {
+          graph.set(static_cast<int>(r), i, value - bid.claimed_cost);
+        }
+      }
+    }
+
+    matching::MaxWeightMatcher matcher(graph);
+    const matching::Matching& matching = matcher.solve();
+    const Money batch_welfare = matcher.total_weight();
+
+    for (std::size_t r = 0; r < batch_tasks.size(); ++r) {
+      const auto col = matching.row_to_col[r];
+      if (!col) continue;
+      outcome.allocation.assign(batch_tasks[r], PhoneId{*col});
+    }
+    // Batch-local VCG prices (truthful w.r.t. costs within the batch; the
+    // header explains why time-truthfulness is still lost).
+    for (std::size_t r = 0; r < batch_tasks.size(); ++r) {
+      const auto col = matching.row_to_col[r];
+      if (!col) continue;
+      const Money without = matcher.total_weight_without_column(*col);
+      outcome.payments[static_cast<std::size_t>(*col)] =
+          batch_welfare + bids[static_cast<std::size_t>(*col)].claimed_cost -
+          without;
+      allocated[static_cast<std::size_t>(*col)] = 1;
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+}  // namespace mcs::auction

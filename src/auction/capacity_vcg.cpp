@@ -1,0 +1,244 @@
+#include "auction/capacity_vcg.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "matching/min_cost_flow.hpp"
+
+namespace mcs::auction {
+
+CapacityProfile uniform_capacity(int phone_count, int capacity) {
+  MCS_EXPECTS(phone_count >= 0 && capacity >= 0,
+              "uniform_capacity arguments must be >= 0");
+  return CapacityProfile(static_cast<std::size_t>(phone_count), capacity);
+}
+
+int CapacityOutcome::allocated_count() const {
+  int count = 0;
+  for (const auto& phone : task_to_phone) {
+    if (phone) ++count;
+  }
+  return count;
+}
+
+int CapacityOutcome::tasks_served_by(PhoneId phone) const {
+  MCS_EXPECTS(phone.value() >= 0 &&
+                  static_cast<std::size_t>(phone.value()) < phone_to_tasks.size(),
+              "phone id out of range");
+  return static_cast<int>(
+      phone_to_tasks[static_cast<std::size_t>(phone.value())].size());
+}
+
+Money CapacityOutcome::social_welfare(const model::Scenario& scenario) const {
+  Money welfare;
+  for (std::size_t t = 0; t < task_to_phone.size(); ++t) {
+    if (const auto& phone = task_to_phone[t]) {
+      welfare += scenario.value_of(TaskId{static_cast<int>(t)}) -
+                 scenario.phone(*phone).cost;
+    }
+  }
+  return welfare;
+}
+
+Money CapacityOutcome::claimed_welfare(const model::Scenario& scenario,
+                                       const model::BidProfile& bids) const {
+  Money welfare;
+  for (std::size_t t = 0; t < task_to_phone.size(); ++t) {
+    if (const auto& phone = task_to_phone[t]) {
+      welfare += scenario.value_of(TaskId{static_cast<int>(t)}) -
+                 bids[static_cast<std::size_t>(phone->value())].claimed_cost;
+    }
+  }
+  return welfare;
+}
+
+Money CapacityOutcome::total_payment() const {
+  Money total;
+  for (const Money p : payments) total += p;
+  return total;
+}
+
+Money CapacityOutcome::utility(const model::Scenario& scenario,
+                               PhoneId phone) const {
+  const Money payment = payments[static_cast<std::size_t>(phone.value())];
+  return payment - scenario.phone(phone).cost * tasks_served_by(phone);
+}
+
+void CapacityOutcome::validate(const model::Scenario& scenario,
+                               const model::BidProfile& bids,
+                               const CapacityProfile& capacities) const {
+  MCS_ASSERT(task_to_phone.size() == static_cast<std::size_t>(scenario.task_count()),
+             "task map size mismatch");
+  MCS_ASSERT(phone_to_tasks.size() == scenario.phones.size(),
+             "phone map size mismatch");
+  MCS_ASSERT(payments.size() == scenario.phones.size(),
+             "payment vector size mismatch");
+  MCS_ASSERT(capacities.size() == scenario.phones.size(),
+             "capacity profile size mismatch");
+
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    const auto& tasks = phone_to_tasks[static_cast<std::size_t>(i)];
+    MCS_ASSERT(static_cast<int>(tasks.size()) <=
+                   capacities[static_cast<std::size_t>(i)],
+               "phone exceeds its capacity");
+    std::vector<Slot> slots;
+    for (const TaskId task : tasks) {
+      MCS_ASSERT(task_to_phone[static_cast<std::size_t>(task.value())] ==
+                     PhoneId{i},
+                 "cross-links broken");
+      const Slot slot = scenario.tasks[static_cast<std::size_t>(task.value())].slot;
+      MCS_ASSERT(bids[static_cast<std::size_t>(i)].window.contains(slot),
+                 "task outside the phone's reported window");
+      for (const Slot other : slots) {
+        MCS_ASSERT(other != slot, "phone serves two tasks in one slot");
+      }
+      slots.push_back(slot);
+    }
+    if (tasks.empty()) {
+      MCS_ASSERT(payments[static_cast<std::size_t>(i)].is_zero(),
+                 "loser received a payment");
+    }
+  }
+}
+
+namespace {
+
+/// Solves the capacitated allocation as a min-cost flow; fills
+/// `outcome_tasks` (task -> phone) when non-null and returns the optimal
+/// claimed welfare. `excluded` (if set) removes one phone entirely (the
+/// VCG marginal query).
+Money solve_flow(const model::Scenario& scenario, const model::BidProfile& bids,
+                 const CapacityProfile& capacities,
+                 std::optional<PhoneId> excluded,
+                 std::vector<std::optional<PhoneId>>* outcome_tasks) {
+  const int gamma = scenario.task_count();
+  const int n = scenario.phone_count();
+
+  // Node layout: 0 = source, 1..gamma tasks, then (phone, slot) pair nodes
+  // (created on demand), then phone nodes, then sink (appended last).
+  // We precompute pair nodes per (phone, slot with >= 1 task in window).
+  std::map<std::pair<int, Slot::rep_type>, int> pair_node;
+  int next_node = 1 + gamma;
+  std::vector<Slot::rep_type> task_slots(static_cast<std::size_t>(gamma));
+  for (int t = 0; t < gamma; ++t) {
+    task_slots[static_cast<std::size_t>(t)] =
+        scenario.tasks[static_cast<std::size_t>(t)].slot.value();
+  }
+  for (int i = 0; i < n; ++i) {
+    if (excluded && excluded->value() == i) continue;
+    if (capacities[static_cast<std::size_t>(i)] <= 0) continue;
+    const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+    for (int t = 0; t < gamma; ++t) {
+      const Slot::rep_type s = task_slots[static_cast<std::size_t>(t)];
+      if (bid.window.contains(Slot{s})) {
+        const auto key = std::make_pair(i, s);
+        if (!pair_node.contains(key)) pair_node[key] = next_node++;
+      }
+    }
+  }
+  const int phone_base = next_node;
+  next_node += n;
+  const int sink = next_node++;
+  const int source = 0;
+
+  matching::MinCostFlow flow(next_node);
+  std::vector<std::vector<std::pair<int, int>>> task_edges(
+      static_cast<std::size_t>(gamma));  // (edge id, phone)
+
+  for (int t = 0; t < gamma; ++t) {
+    flow.add_edge(source, 1 + t, 1, 0);
+    flow.add_edge(1 + t, sink, 1, 0);  // bypass: leave unserved
+  }
+  for (const auto& [key, node] : pair_node) {
+    const auto& [phone, slot] = key;
+    flow.add_edge(node, phone_base + phone, 1, 0);
+    const Money bid_cost = bids[static_cast<std::size_t>(phone)].claimed_cost;
+    for (int t = 0; t < gamma; ++t) {
+      if (task_slots[static_cast<std::size_t>(t)] != slot) continue;
+      const Money w = scenario.value_of(TaskId{t}) - bid_cost;
+      const int edge =
+          flow.add_edge(1 + t, node, 1, -w.micros());
+      task_edges[static_cast<std::size_t>(t)].push_back({edge, phone});
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (excluded && excluded->value() == i) continue;
+    flow.add_edge(phone_base + i, sink,
+                  capacities[static_cast<std::size_t>(i)], 0);
+  }
+
+  const matching::MinCostFlow::Result result = flow.solve(source, sink);
+  MCS_ASSERT(result.flow == gamma, "bypass edges guarantee full task flow");
+
+  if (outcome_tasks != nullptr) {
+    outcome_tasks->assign(static_cast<std::size_t>(gamma), std::nullopt);
+    for (int t = 0; t < gamma; ++t) {
+      for (const auto& [edge, phone] : task_edges[static_cast<std::size_t>(t)]) {
+        if (flow.flow_on(edge) > 0) {
+          (*outcome_tasks)[static_cast<std::size_t>(t)] = PhoneId{phone};
+        }
+      }
+    }
+  }
+  return Money::from_micros(-result.cost);
+}
+
+void check_inputs(const model::Scenario& scenario, const model::BidProfile& bids,
+                  const CapacityProfile& capacities) {
+  scenario.validate();
+  model::validate_bids(scenario, bids);
+  MCS_EXPECTS(capacities.size() == scenario.phones.size(),
+              "capacity profile size mismatch");
+  for (const int capacity : capacities) {
+    MCS_EXPECTS(capacity >= 0, "capacities must be >= 0");
+  }
+}
+
+}  // namespace
+
+Money optimal_capacity_welfare(const model::Scenario& scenario,
+                               const model::BidProfile& bids,
+                               const CapacityProfile& capacities) {
+  check_inputs(scenario, bids, capacities);
+  return solve_flow(scenario, bids, capacities, std::nullopt, nullptr);
+}
+
+CapacityOutcome run_capacity_vcg(const model::Scenario& scenario,
+                                 const model::BidProfile& bids,
+                                 const CapacityProfile& capacities) {
+  check_inputs(scenario, bids, capacities);
+
+  CapacityOutcome outcome;
+  const Money welfare_all =
+      solve_flow(scenario, bids, capacities, std::nullopt, &outcome.task_to_phone);
+  outcome.phone_to_tasks.assign(scenario.phones.size(), {});
+  outcome.payments.assign(scenario.phones.size(), Money{});
+  for (std::size_t t = 0; t < outcome.task_to_phone.size(); ++t) {
+    if (const auto& phone = outcome.task_to_phone[t]) {
+      outcome.phone_to_tasks[static_cast<std::size_t>(phone->value())]
+          .push_back(TaskId{static_cast<int>(t)});
+    }
+  }
+
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    const PhoneId phone{i};
+    const int served = outcome.tasks_served_by(phone);
+    if (served == 0) continue;
+    const Money without =
+        solve_flow(scenario, bids, capacities, phone, nullptr);
+    // VCG: q_i * b_i plus the marginal contribution.
+    const Money payment =
+        bids[static_cast<std::size_t>(i)].claimed_cost * served +
+        (welfare_all - without);
+    MCS_ENSURES(payment >=
+                    bids[static_cast<std::size_t>(i)].claimed_cost * served,
+                "VCG payment below claimed cost");
+    outcome.payments[static_cast<std::size_t>(i)] = payment;
+  }
+
+  outcome.validate(scenario, bids, capacities);
+  return outcome;
+}
+
+}  // namespace mcs::auction

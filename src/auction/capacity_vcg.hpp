@@ -1,0 +1,82 @@
+// Capacitated offline VCG -- the multi-task extension.
+//
+// The paper restricts every smartphone to at most one task per round
+// (constraint (5)); its model section remarks that larger tasks are split
+// into unit tasks, which makes multi-task phones the natural next step. In
+// this extension phone i may serve up to cap_i tasks, still at most one
+// per slot (a task occupies the whole slot).
+//
+// A maximum-weight *matching* no longer captures the per-slot constraint,
+// so the allocation is solved exactly as a min-cost flow:
+//
+//   source -> task (1, 0)
+//   task -> (phone, slot-of-task) (1, -(value - b_i))   if window covers it
+//   task -> sink (1, 0)                                  "leave unserved"
+//   (phone, slot) -> phone (1, 0)                        one task per slot
+//   phone -> sink (cap_i, 0)                             total capacity
+//
+// Payments are VCG with per-phone marginals (full re-solves): a winner
+// serving q_i tasks is paid q_i * b_i + (omega*(B) - omega*(B_{-i})),
+// which keeps the mechanism truthful in cost and reported window, and
+// makes *understating* capacity (the only feasible capacity lie: a phone
+// cannot serve more than it can) unprofitable.
+//
+// This extension deliberately has its own outcome type: the paper-faithful
+// auction::Outcome encodes the one-task-per-phone invariant, which no
+// longer holds here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/types.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::auction {
+
+/// Per-phone task capacities; index is the PhoneId value. All entries
+/// must be >= 0 (0 = the phone abstains).
+using CapacityProfile = std::vector<int>;
+
+/// Uniform capacity helper.
+[[nodiscard]] CapacityProfile uniform_capacity(int phone_count, int capacity);
+
+struct CapacityOutcome {
+  std::vector<std::optional<PhoneId>> task_to_phone;  ///< index: TaskId
+  std::vector<std::vector<TaskId>> phone_to_tasks;    ///< index: PhoneId
+  std::vector<Money> payments;  ///< aggregate per phone (losers: 0)
+
+  [[nodiscard]] int allocated_count() const;
+  [[nodiscard]] int tasks_served_by(PhoneId phone) const;
+
+  /// Sum over served tasks of (value - true cost of the server).
+  [[nodiscard]] Money social_welfare(const model::Scenario& scenario) const;
+
+  /// Same with claimed costs.
+  [[nodiscard]] Money claimed_welfare(const model::Scenario& scenario,
+                                      const model::BidProfile& bids) const;
+
+  [[nodiscard]] Money total_payment() const;
+
+  /// Utility of a phone: payment minus (true cost x tasks served).
+  [[nodiscard]] Money utility(const model::Scenario& scenario,
+                              PhoneId phone) const;
+
+  /// Structural checks: cross-links consistent, windows respected, at most
+  /// one task per (phone, slot), capacities respected, losers paid 0.
+  void validate(const model::Scenario& scenario, const model::BidProfile& bids,
+                const CapacityProfile& capacities) const;
+};
+
+/// Optimal capacitated claimed welfare (the flow objective).
+[[nodiscard]] Money optimal_capacity_welfare(const model::Scenario& scenario,
+                                             const model::BidProfile& bids,
+                                             const CapacityProfile& capacities);
+
+/// Runs the capacitated VCG auction: optimal allocation + VCG payments.
+[[nodiscard]] CapacityOutcome run_capacity_vcg(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    const CapacityProfile& capacities);
+
+}  // namespace mcs::auction

@@ -1,0 +1,59 @@
+#include "auction/critical_value.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mcs::auction {
+
+std::optional<Money> bisect_critical_value(const WinsWithCost& wins,
+                                           Money upper_bound,
+                                           std::int64_t tolerance_micros) {
+  MCS_EXPECTS(tolerance_micros >= 1, "tolerance must be >= 1 micro");
+  MCS_EXPECTS(!upper_bound.is_negative(), "upper_bound must be >= 0");
+  MCS_EXPECTS(wins(Money{}), "bisect_critical_value requires wins(0)");
+
+  if (wins(upper_bound)) return std::nullopt;  // unbounded in probed range
+
+  // Invariant: wins at `lo`, loses at `hi`.
+  std::int64_t lo = 0;
+  std::int64_t hi = upper_bound.micros();
+  while (hi - lo > tolerance_micros) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (wins(Money::from_micros(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // `lo` is the largest probed winning cost; with tolerance 1 micro the
+  // true threshold lies in (lo, lo + 1 micro], and for mechanisms whose
+  // thresholds are exact bid values (the greedy rule) `hi` equals it.
+  return Money::from_micros(hi);
+}
+
+std::optional<Money> greedy_critical_value(const model::Scenario& scenario,
+                                           const model::BidProfile& bids,
+                                           PhoneId phone,
+                                           const OnlineGreedyConfig& config) {
+  Money max_cost;
+  for (const model::Bid& bid : bids) {
+    max_cost = std::max(max_cost, bid.claimed_cost);
+  }
+  Money max_value = scenario.task_value;
+  for (const model::Task& task : scenario.tasks) {
+    max_value = std::max(max_value, scenario.value_of(task.id));
+  }
+  const Money upper_bound = max_value + max_cost + Money::from_units(1);
+
+  const model::Bid& own = bids[static_cast<std::size_t>(phone.value())];
+  const WinsWithCost wins = [&](Money cost) {
+    const model::BidProfile probe = model::with_bid(
+        bids, phone, model::Bid{own.window, cost});
+    const GreedyRun run = run_greedy_allocation(scenario, probe, config);
+    return run.allocation.is_winner(phone);
+  };
+  return bisect_critical_value(wins, upper_bound);
+}
+
+}  // namespace mcs::auction

@@ -1,0 +1,48 @@
+// Generic critical-value computation (Definition 9).
+//
+// For a monotone allocation rule, a bidder's critical value b^c is the
+// threshold claimed cost: bid strictly below it and win, bid strictly above
+// it and lose. This module computes b^c by bisection over the claimed cost,
+// re-running the allocation as a black box. It is deliberately independent
+// of Algorithm 2, so the tests can confirm that Algorithm 2's payment *is*
+// the critical value -- the heart of the Theorem 4 proof -- without sharing
+// any code with it.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "auction/online_greedy.hpp"
+#include "common/money.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::auction {
+
+/// Predicate: does the bidder win when claiming `cost` (all else fixed)?
+/// Must be monotone: winning at c implies winning at every c' <= c.
+using WinsWithCost = std::function<bool(Money cost)>;
+
+/// Bisects for the threshold between winning and losing claimed costs on
+/// [0, upper_bound].
+///
+/// Preconditions: wins(0) is true (call this only for bidders that win at
+/// some cost) and `wins` is monotone.
+/// Returns nullopt when the bidder wins even at `upper_bound` (the critical
+/// value is unbounded within the probed range, e.g. under supply scarcity);
+/// otherwise returns a value within `tolerance_micros` of the threshold
+/// (default: exact to one micro-unit).
+[[nodiscard]] std::optional<Money> bisect_critical_value(
+    const WinsWithCost& wins, Money upper_bound,
+    std::int64_t tolerance_micros = 1);
+
+/// Critical claimed cost of `phone` under the greedy online allocation
+/// (Algorithm 1) with everyone else's bids fixed. Requires that `phone`
+/// wins when claiming 0. Returns nullopt when the phone wins at any probed
+/// cost (supply scarcity). The probe range is the task value plus the
+/// maximum claimed cost in `bids`, which exceeds any bounded critical value
+/// of the greedy rule.
+[[nodiscard]] std::optional<Money> greedy_critical_value(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    PhoneId phone, const OnlineGreedyConfig& config = {});
+
+}  // namespace mcs::auction

@@ -1,0 +1,9 @@
+#include "auction/mechanism.hpp"
+
+namespace mcs::auction {
+
+Outcome Mechanism::run_truthful(const model::Scenario& scenario) const {
+  return run(scenario, scenario.truthful_bids());
+}
+
+}  // namespace mcs::auction

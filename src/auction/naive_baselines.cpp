@@ -1,0 +1,80 @@
+#include "auction/naive_baselines.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+/// Shared slot-by-slot skeleton: `pick` selects one pool index per task.
+template <typename PickFn>
+Outcome run_slotwise(const model::Scenario& scenario,
+                     const model::BidProfile& bids, PickFn&& pick) {
+  scenario.validate();
+  model::validate_bids(scenario, bids);
+
+  Outcome outcome;
+  outcome.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  std::vector<char> allocated(scenario.phones.size(), 0);
+  const std::vector<int> tasks_per_slot = scenario.tasks_per_slot();
+  std::size_t next_task = 0;
+
+  for (Slot::rep_type t = 1; t <= scenario.num_slots; ++t) {
+    std::vector<int> pool;
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      if (!allocated[static_cast<std::size_t>(i)] &&
+          bids[static_cast<std::size_t>(i)].window.contains(Slot{t})) {
+        pool.push_back(i);
+      }
+    }
+    const int r_t = tasks_per_slot[static_cast<std::size_t>(t)];
+    for (int k = 0; k < r_t; ++k) {
+      const TaskId task{static_cast<int>(next_task)};
+      ++next_task;
+      if (pool.empty()) continue;
+      const std::size_t choice = pick(pool);
+      MCS_ASSERT(choice < pool.size(), "pick out of range");
+      const int phone = pool[choice];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(choice));
+      allocated[static_cast<std::size_t>(phone)] = 1;
+      outcome.allocation.assign(task, PhoneId{phone});
+      // First-price payment: the claimed cost.
+      outcome.payments[static_cast<std::size_t>(phone)] =
+          bids[static_cast<std::size_t>(phone)].claimed_cost;
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+}  // namespace
+
+Outcome RandomAllocationMechanism::run(const model::Scenario& scenario,
+                                       const model::BidProfile& bids) const {
+  Rng rng(seed_);
+  return run_slotwise(scenario, bids, [&rng](const std::vector<int>& pool) {
+    return static_cast<std::size_t>(rng.next_below(pool.size()));
+  });
+}
+
+Outcome FifoAllocationMechanism::run(const model::Scenario& scenario,
+                                     const model::BidProfile& bids) const {
+  return run_slotwise(scenario, bids, [&](const std::vector<int>& pool) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < pool.size(); ++k) {
+      const Slot a = bids[static_cast<std::size_t>(pool[k])].window.begin();
+      const Slot b = bids[static_cast<std::size_t>(pool[best])].window.begin();
+      if (a < b || (a == b && pool[k] < pool[best])) best = k;
+    }
+    return best;
+  });
+}
+
+}  // namespace mcs::auction

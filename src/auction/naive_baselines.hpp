@@ -1,0 +1,42 @@
+// Naive allocation baselines.
+//
+// Not from the paper's mechanism family -- these calibrate the evaluation:
+// the greedy online rule should beat random and FIFO allocation in welfare,
+// and the gap quantifies how much the cost-aware pool ordering buys. Both
+// pay first-price (the claimed cost), which is trivially individually
+// rational on truthful bids but not truthful; they are used for welfare
+// comparisons only.
+#pragma once
+
+#include <cstdint>
+
+#include "auction/mechanism.hpp"
+
+namespace mcs::auction {
+
+/// Allocates each slot's tasks to uniformly random active unallocated bids.
+/// Deterministic given the seed.
+class RandomAllocationMechanism final : public Mechanism {
+ public:
+  explicit RandomAllocationMechanism(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] Outcome run(const model::Scenario& scenario,
+                            const model::BidProfile& bids) const override;
+
+  [[nodiscard]] std::string name() const override { return "random-allocation"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Allocates each slot's tasks to the longest-waiting active unallocated
+/// bids (earliest reported arrival, ties by id) regardless of cost.
+class FifoAllocationMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] Outcome run(const model::Scenario& scenario,
+                            const model::BidProfile& bids) const override;
+
+  [[nodiscard]] std::string name() const override { return "fifo-allocation"; }
+};
+
+}  // namespace mcs::auction

@@ -1,0 +1,73 @@
+#include "auction/offline_vcg.hpp"
+
+#include "common/assert.hpp"
+#include "matching/hungarian.hpp"
+
+namespace mcs::auction {
+
+matching::WeightMatrix OfflineVcgMechanism::build_graph(
+    const model::Scenario& scenario, const model::BidProfile& bids) {
+  model::validate_bids(scenario, bids);
+  matching::WeightMatrix graph(scenario.task_count(), scenario.phone_count());
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    const Slot slot = scenario.tasks[static_cast<std::size_t>(t)].slot;
+    const Money value = scenario.value_of(TaskId{t});
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+      if (bid.window.contains(slot)) {
+        graph.set(t, i, value - bid.claimed_cost);
+      }
+    }
+  }
+  return graph;
+}
+
+Money OfflineVcgMechanism::optimal_claimed_welfare(
+    const model::Scenario& scenario, const model::BidProfile& bids) {
+  matching::MaxWeightMatcher matcher(build_graph(scenario, bids));
+  return matcher.total_weight();
+}
+
+Outcome OfflineVcgMechanism::run(const model::Scenario& scenario,
+                                 const model::BidProfile& bids) const {
+  scenario.validate();
+  const matching::WeightMatrix graph = build_graph(scenario, bids);
+  matching::MaxWeightMatcher matcher(graph);
+  const matching::Matching& matching = matcher.solve();
+  const Money welfare_all = matcher.total_weight();  // omega*(B)
+
+  Outcome outcome;
+  outcome.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    if (const auto col = matching.row_to_col[static_cast<std::size_t>(t)]) {
+      outcome.allocation.assign(TaskId{t}, PhoneId{*col});
+    }
+  }
+
+  for (const PhoneId winner : outcome.allocation.winners()) {
+    const int col = winner.value();
+    const Money welfare_without =  // omega*(B_{-i})
+        config_.naive_marginals
+            ? [&] {
+                matching::MaxWeightMatcher reduced(graph.without_column(col));
+                return reduced.total_weight();
+              }()
+            : matcher.total_weight_without_column(col);
+    // Eq. (7): p_i = (omega*(B) - (-b_i)) - omega*(B_{-i}).
+    const Money payment =
+        welfare_all +
+        bids[static_cast<std::size_t>(col)].claimed_cost - welfare_without;
+    // omega*(B) >= omega*(B_{-i}) (a feasible solution without i is feasible
+    // with i), so payments never fall below the claimed cost.
+    MCS_ENSURES(payment >= bids[static_cast<std::size_t>(col)].claimed_cost,
+                "VCG payment below claimed cost");
+    outcome.payments[static_cast<std::size_t>(col)] = payment;
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+}  // namespace mcs::auction

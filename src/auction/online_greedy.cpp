@@ -1,0 +1,199 @@
+#include "auction/online_greedy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+/// Pool ordering: by (claimed cost, phone id) ascending. A total,
+/// deterministic order is what makes the allocation rule monotone
+/// (Definition 10) and the audits exact.
+struct PoolEntry {
+  std::int64_t cost_micros;
+  int phone;
+
+  friend bool operator<(const PoolEntry& a, const PoolEntry& b) {
+    if (a.cost_micros != b.cost_micros) return a.cost_micros < b.cost_micros;
+    return a.phone < b.phone;
+  }
+};
+
+}  // namespace
+
+GreedyRun run_greedy_allocation(const model::Scenario& scenario,
+                                const model::BidProfile& bids,
+                                const OnlineGreedyConfig& config,
+                                std::optional<PhoneId> exclude,
+                                Slot::rep_type last_slot) {
+  model::validate_bids(scenario, bids);
+  const Slot::rep_type horizon =
+      last_slot == 0 ? scenario.num_slots
+                     : std::min(last_slot, scenario.num_slots);
+
+  // Arrival index: phones grouped by reported arrival slot. (Under
+  // allocate_only_profitable, eligibility is checked per task at
+  // allocation time, since the weighted-query extension gives tasks
+  // individual values.)
+  std::vector<std::vector<int>> arrivals(
+      static_cast<std::size_t>(scenario.num_slots) + 1);
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    if (exclude && exclude->value() == i) continue;
+    const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+    if (config.reserve_price && bid.claimed_cost > *config.reserve_price) {
+      continue;  // above the platform reserve: never admitted
+    }
+    arrivals[static_cast<std::size_t>(bid.window.begin().value())].push_back(i);
+  }
+
+  const std::vector<int> tasks_per_slot = scenario.tasks_per_slot();
+  // Tasks of each slot in id order (dense ids sorted by slot make this a
+  // simple running cursor).
+  std::size_t next_task = 0;
+
+  GreedyRun run;
+  run.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  run.slots.reserve(static_cast<std::size_t>(horizon));
+
+  std::set<PoolEntry> pool;  // active unallocated bids
+  const auto window_of = [&](int phone) -> const SlotInterval& {
+    return bids[static_cast<std::size_t>(phone)].window;
+  };
+
+  for (Slot::rep_type t = 1; t <= horizon; ++t) {
+    // Add newly arriving bids (Algorithm 1 line 3, first half).
+    for (const int phone : arrivals[static_cast<std::size_t>(t)]) {
+      pool.insert(PoolEntry{
+          bids[static_cast<std::size_t>(phone)].claimed_cost.micros(), phone});
+    }
+    // Drop departed bids (line 3, second half). Lazy would suffice for
+    // allocation, but the recorded pool must match Fig. 4's "dynamic pool".
+    for (auto it = pool.begin(); it != pool.end();) {
+      if (window_of(it->phone).end().value() < t) {
+        it = pool.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    GreedySlotRecord record;
+    record.slot = Slot{t};
+    record.pool.reserve(pool.size());
+    for (const PoolEntry& entry : pool) {
+      record.pool.push_back(PhoneId{entry.phone});
+    }
+
+    // Allocate this slot's tasks to the cheapest pool members (lines 5-8).
+    // With the weighted-query extension, serve high-value tasks first so a
+    // dry pool starves only the least valuable ones (with uniform nu this
+    // is plain id order).
+    const int r_t = tasks_per_slot[static_cast<std::size_t>(t)];
+    std::vector<TaskId> slot_tasks;
+    slot_tasks.reserve(static_cast<std::size_t>(r_t));
+    for (int k = 0; k < r_t; ++k) {
+      const TaskId task{static_cast<int>(next_task + static_cast<std::size_t>(k))};
+      MCS_ASSERT(scenario.tasks[static_cast<std::size_t>(task.value())].slot ==
+                     Slot{t},
+                 "task cursor out of sync with slot");
+      slot_tasks.push_back(task);
+    }
+    next_task += static_cast<std::size_t>(r_t);
+    std::stable_sort(slot_tasks.begin(), slot_tasks.end(),
+                     [&](TaskId a, TaskId b) {
+                       return scenario.value_of(a) > scenario.value_of(b);
+                     });
+
+    for (const TaskId task : slot_tasks) {
+      if (pool.empty()) {
+        record.unserved.push_back(task);
+        continue;
+      }
+      const PoolEntry chosen = *pool.begin();
+      if (config.allocate_only_profitable &&
+          Money::from_micros(chosen.cost_micros) > scenario.value_of(task)) {
+        // The cheapest remaining bid already exceeds this task's value, so
+        // no profitable assignment exists; the phone stays in the pool.
+        record.unserved.push_back(task);
+        continue;
+      }
+      pool.erase(pool.begin());
+      run.allocation.assign(task, PhoneId{chosen.phone});
+      record.winners.push_back(PhoneId{chosen.phone});
+    }
+    record.unallocated_tasks = static_cast<int>(record.unserved.size());
+
+    run.slots.push_back(std::move(record));
+  }
+
+  return run;
+}
+
+Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
+                                             const model::BidProfile& bids,
+                                             PhoneId winner,
+                                             Slot win_slot) const {
+  const model::Bid& own_bid = bids[static_cast<std::size_t>(winner.value())];
+  const Slot::rep_type depart = own_bid.window.end().value();
+
+  // Counterfactual run without B_i up to the winner's reported departure
+  // (Algorithm 2 re-allocates from slot 1: removing i can change history).
+  const GreedyRun without =
+      run_greedy_allocation(scenario, bids, config_, winner, depart);
+
+  Money payment = own_bid.claimed_cost;  // Algorithm 2 line 1: p_i <- b_i
+  bool scarce = false;
+  Money scarce_cap;
+  for (const GreedySlotRecord& record : without.slots) {
+    if (record.slot < win_slot) continue;  // only slots in [t'_i, d~_i]
+    for (const TaskId task : record.unserved) {
+      // Without i this task goes unserved. i's winning threshold for it is
+      // the reserve price (if set: bids above it never enter), else the
+      // task's value under profitable-only, else unbounded -- in which
+      // case the task's value serves as the documented cap.
+      scarce = true;
+      Money cap = scenario.value_of(task);
+      if (config_.reserve_price) {
+        cap = config_.allocate_only_profitable
+                  ? std::min(*config_.reserve_price, cap)
+                  : *config_.reserve_price;
+      }
+      scarce_cap = std::max(scarce_cap, cap);
+    }
+    if (!record.winners.empty()) {
+      // Line 6: the r_t-th (highest-cost) winner of the slot.
+      const PhoneId last = record.winners.back();
+      payment = std::max(
+          payment, bids[static_cast<std::size_t>(last.value())].claimed_cost);
+    }
+  }
+  if (scarce &&
+      config_.scarce_payment == OnlineGreedyConfig::ScarcePayment::kCapAtValue) {
+    payment = std::max(payment, scarce_cap);
+  }
+  return payment;
+}
+
+Outcome OnlineGreedyMechanism::run(const model::Scenario& scenario,
+                                   const model::BidProfile& bids) const {
+  scenario.validate();
+  GreedyRun greedy = run_greedy_allocation(scenario, bids, config_);
+
+  Outcome outcome;
+  outcome.allocation = std::move(greedy.allocation);
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  for (const GreedySlotRecord& record : greedy.slots) {
+    for (const PhoneId winner : record.winners) {
+      outcome.payments[static_cast<std::size_t>(winner.value())] =
+          compute_payment(scenario, bids, winner, record.slot);
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+}  // namespace mcs::auction

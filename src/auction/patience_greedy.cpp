@@ -1,0 +1,187 @@
+#include "auction/patience_greedy.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "matching/hungarian.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+struct PoolEntry {
+  std::int64_t cost_micros;
+  int phone;
+  friend bool operator<(const PoolEntry& a, const PoolEntry& b) {
+    if (a.cost_micros != b.cost_micros) return a.cost_micros < b.cost_micros;
+    return a.phone < b.phone;
+  }
+};
+
+struct PendingTask {
+  Slot::rep_type deadline;
+  int task;
+  friend bool operator<(const PendingTask& a, const PendingTask& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.task < b.task;
+  }
+};
+
+}  // namespace
+
+PatienceRun run_patience_allocation(const model::Scenario& scenario,
+                                    const model::BidProfile& bids,
+                                    const PatienceConfig& config,
+                                    std::optional<PhoneId> exclude,
+                                    Slot::rep_type last_slot) {
+  MCS_EXPECTS(config.patience >= 0, "patience must be >= 0");
+  model::validate_bids(scenario, bids);
+  const Slot::rep_type horizon =
+      last_slot == 0 ? scenario.num_slots
+                     : std::min(last_slot, scenario.num_slots);
+
+  std::vector<std::vector<int>> phone_arrivals(
+      static_cast<std::size_t>(scenario.num_slots) + 1);
+  for (int i = 0; i < scenario.phone_count(); ++i) {
+    if (exclude && exclude->value() == i) continue;
+    phone_arrivals[static_cast<std::size_t>(
+                       bids[static_cast<std::size_t>(i)].window.begin().value())]
+        .push_back(i);
+  }
+
+  PatienceRun run;
+  run.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  run.slots.reserve(static_cast<std::size_t>(horizon));
+
+  std::set<PoolEntry> pool;
+  std::set<PendingTask> pending;  // EDF order
+  std::size_t task_cursor = 0;
+
+  for (Slot::rep_type t = 1; t <= horizon; ++t) {
+    for (const int phone : phone_arrivals[static_cast<std::size_t>(t)]) {
+      pool.insert(PoolEntry{
+          bids[static_cast<std::size_t>(phone)].claimed_cost.micros(), phone});
+    }
+    for (auto it = pool.begin(); it != pool.end();) {
+      if (bids[static_cast<std::size_t>(it->phone)].window.end().value() < t) {
+        it = pool.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    PatienceSlotRecord record;
+    record.slot = Slot{t};
+
+    // New arrivals join the pending queue with their deadline.
+    while (task_cursor < scenario.tasks.size() &&
+           scenario.tasks[task_cursor].slot.value() == t) {
+      const Slot::rep_type deadline = std::min<Slot::rep_type>(
+          t + config.patience, scenario.num_slots);
+      pending.insert(PendingTask{
+          deadline, scenario.tasks[task_cursor].id.value()});
+      ++task_cursor;
+    }
+    // Serve pending tasks EDF-first with the cheapest bids.
+    while (!pending.empty() && !pool.empty()) {
+      const PendingTask task = *pending.begin();
+      pending.erase(pending.begin());
+      const PoolEntry chosen = *pool.begin();
+      pool.erase(pool.begin());
+      run.allocation.assign(TaskId{task.task}, PhoneId{chosen.phone}, Slot{t});
+      record.served.emplace_back(TaskId{task.task}, PhoneId{chosen.phone});
+    }
+    // Anything still pending whose deadline is this slot is now dead --
+    // recording the expiry in the slot it became unservable keeps the
+    // payment scheme's scarcity window aligned with Algorithm 2 at P = 0.
+    while (!pending.empty() && pending.begin()->deadline <= t) {
+      record.expired.push_back(TaskId{pending.begin()->task});
+      pending.erase(pending.begin());
+    }
+    record.pending_after = static_cast<int>(pending.size());
+    run.slots.push_back(std::move(record));
+  }
+  // Tasks still pending when the horizon ends expire silently (they are
+  // simply unallocated in the result).
+  return run;
+}
+
+std::string PatienceGreedyMechanism::name() const {
+  std::ostringstream os;
+  os << "patience-greedy(P=" << config_.patience << ')';
+  return os.str();
+}
+
+Outcome PatienceGreedyMechanism::run(const model::Scenario& scenario,
+                                     const model::BidProfile& bids) const {
+  scenario.validate();
+  const PatienceRun base = run_patience_allocation(scenario, bids, config_);
+
+  Outcome outcome;
+  outcome.allocation = base.allocation;
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  for (const PatienceSlotRecord& record : base.slots) {
+    for (const auto& [task, winner] : record.served) {
+      (void)task;
+      const Slot win_slot = record.slot;
+      const model::Bid& own = bids[static_cast<std::size_t>(winner.value())];
+      const Slot::rep_type depart = own.window.end().value();
+
+      const PatienceRun without =
+          run_patience_allocation(scenario, bids, config_, winner, depart);
+      Money payment = own.claimed_cost;
+      bool scarce = false;
+      Money scarce_cap;
+      for (const PatienceSlotRecord& counterfactual : without.slots) {
+        if (counterfactual.slot < win_slot) continue;
+        for (const auto& [served_task, served_phone] : counterfactual.served) {
+          (void)served_task;
+          payment = std::max(
+              payment,
+              bids[static_cast<std::size_t>(served_phone.value())].claimed_cost);
+        }
+        for (const TaskId expired : counterfactual.expired) {
+          scarce = true;
+          scarce_cap = std::max(scarce_cap, scenario.value_of(expired));
+        }
+      }
+      if (scarce && config_.scarce_payment ==
+                        OnlineGreedyConfig::ScarcePayment::kCapAtValue) {
+        payment = std::max(payment, scarce_cap);
+      }
+      outcome.payments[static_cast<std::size_t>(winner.value())] = payment;
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+Money optimal_patience_welfare(const model::Scenario& scenario,
+                               const model::BidProfile& bids,
+                               Slot::rep_type patience) {
+  MCS_EXPECTS(patience >= 0, "patience must be >= 0");
+  model::validate_bids(scenario, bids);
+  matching::WeightMatrix graph(scenario.task_count(), scenario.phone_count());
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    const Slot::rep_type arrival =
+        scenario.tasks[static_cast<std::size_t>(t)].slot.value();
+    const Slot::rep_type deadline =
+        std::min<Slot::rep_type>(arrival + patience, scenario.num_slots);
+    const SlotInterval service_window = SlotInterval::of(arrival, deadline);
+    const Money value = scenario.value_of(TaskId{t});
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+      if (bid.window.intersect(service_window)) {
+        graph.set(t, i, value - bid.claimed_cost);
+      }
+    }
+  }
+  matching::MaxWeightMatcher matcher(graph);
+  return matcher.total_weight();
+}
+
+}  // namespace mcs::auction

@@ -1,0 +1,96 @@
+#include "auction/posted_price.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mcs::auction {
+
+PostedPriceMechanism::PostedPriceMechanism(PostedPriceConfig config)
+    : config_(config) {
+  MCS_EXPECTS(!config.price.is_negative(), "posted price must be >= 0");
+}
+
+std::string PostedPriceMechanism::name() const {
+  std::ostringstream os;
+  os << "posted-price(" << config_.price << ')';
+  return os.str();
+}
+
+Outcome PostedPriceMechanism::run(const model::Scenario& scenario,
+                                  const model::BidProfile& bids) const {
+  scenario.validate();
+  model::validate_bids(scenario, bids);
+
+  Outcome outcome;
+  outcome.allocation = Allocation(scenario.task_count(), scenario.phone_count());
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  std::vector<char> allocated(scenario.phones.size(), 0);
+  const std::vector<int> tasks_per_slot = scenario.tasks_per_slot();
+  std::size_t next_task = 0;
+
+  for (Slot::rep_type t = 1; t <= scenario.num_slots; ++t) {
+    // Willing pool: active, unallocated, claimed cost at most the posted
+    // price; served in queue order (earliest reported arrival, then id).
+    std::vector<int> willing;
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+      if (!allocated[static_cast<std::size_t>(i)] &&
+          bid.window.contains(Slot{t}) &&
+          bid.claimed_cost <= config_.price) {
+        willing.push_back(i);
+      }
+    }
+    std::sort(willing.begin(), willing.end(), [&](int a, int b) {
+      const Slot arrival_a = bids[static_cast<std::size_t>(a)].window.begin();
+      const Slot arrival_b = bids[static_cast<std::size_t>(b)].window.begin();
+      if (arrival_a != arrival_b) return arrival_a < arrival_b;
+      return a < b;
+    });
+
+    const int r_t = tasks_per_slot[static_cast<std::size_t>(t)];
+    std::size_t cursor = 0;
+    for (int k = 0; k < r_t; ++k) {
+      const TaskId task{static_cast<int>(next_task)};
+      ++next_task;
+      if (cursor >= willing.size()) continue;  // task expires
+      const int phone = willing[cursor++];
+      allocated[static_cast<std::size_t>(phone)] = 1;
+      outcome.allocation.assign(task, PhoneId{phone});
+      outcome.payments[static_cast<std::size_t>(phone)] = config_.price;
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+Money best_posted_price(const model::Scenario& scenario) {
+  std::vector<Money> candidates;
+  for (const model::TrueProfile& phone : scenario.phones) {
+    candidates.push_back(phone.cost);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.empty()) return Money{};
+
+  const model::BidProfile bids = scenario.truthful_bids();
+  Money best_price = candidates.front();
+  Money best_welfare = Money::from_units(INT64_MIN / Money::kScale / 4);
+  for (const Money price : candidates) {
+    const PostedPriceMechanism mechanism(price);
+    const Money welfare =
+        mechanism.run(scenario, bids).social_welfare(scenario);
+    if (welfare > best_welfare) {  // strict: ties keep the lower price
+      best_welfare = welfare;
+      best_price = price;
+    }
+  }
+  return best_price;
+}
+
+}  // namespace mcs::auction

@@ -1,0 +1,44 @@
+// Posted-price baseline.
+//
+// The simplest truthful design in the crowdsensing literature: the
+// platform posts a fixed price p; each slot, every task is offered to the
+// longest-waiting active unallocated phone whose claimed cost is at most p
+// (take-it-or-leave-it), and every server is paid exactly p. Truthfulness
+// is immediate -- a phone's report only decides whether it is willing at
+// p, and accepting iff c_i <= p is dominant -- but the mechanism is
+// price-blind: set p too low and tasks starve, too high and the platform
+// overpays. It calibrates how much the paper's adaptive critical-value
+// pricing buys over the best fixed price (best_posted_price finds the
+// welfare-optimal p in hindsight).
+#pragma once
+
+#include "auction/mechanism.hpp"
+
+namespace mcs::auction {
+
+struct PostedPriceConfig {
+  Money price;  ///< the posted take-it-or-leave-it price
+};
+
+class PostedPriceMechanism final : public Mechanism {
+ public:
+  explicit PostedPriceMechanism(PostedPriceConfig config);
+  explicit PostedPriceMechanism(Money price)
+      : PostedPriceMechanism(PostedPriceConfig{price}) {}
+
+  [[nodiscard]] Outcome run(const model::Scenario& scenario,
+                            const model::BidProfile& bids) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  PostedPriceConfig config_;
+};
+
+/// The hindsight-optimal posted price for a scenario under truthful bids:
+/// evaluates every distinct cost (the only prices at which the allocation
+/// changes) and returns the one maximizing social welfare, favoring the
+/// lowest price on ties. Returns 0 for scenarios with no phones.
+[[nodiscard]] Money best_posted_price(const model::Scenario& scenario);
+
+}  // namespace mcs::auction

@@ -1,0 +1,53 @@
+#include "auction/second_price.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mcs::auction {
+
+Outcome SecondPriceBaseline::run(const model::Scenario& scenario,
+                                 const model::BidProfile& bids) const {
+  scenario.validate();
+  GreedyRun greedy =
+      run_greedy_allocation(scenario, bids, config_.allocation);
+
+  Outcome outcome;
+  outcome.allocation = std::move(greedy.allocation);
+  outcome.payments.assign(scenario.phones.size(), Money{});
+
+  for (const GreedySlotRecord& record : greedy.slots) {
+    if (record.winners.empty()) continue;
+    // The pool is recorded sorted by (cost, id); winners are its first
+    // entries, so the best losing bid is the entry right after them.
+    const std::size_t runner_up_index = record.winners.size();
+    std::optional<Money> runner_up_cost;
+    if (runner_up_index < record.pool.size()) {
+      const PhoneId runner_up = record.pool[runner_up_index];
+      runner_up_cost =
+          bids[static_cast<std::size_t>(runner_up.value())].claimed_cost;
+    }
+    for (const PhoneId winner : record.winners) {
+      const Money own =
+          bids[static_cast<std::size_t>(winner.value())].claimed_cost;
+      Money payment;
+      if (runner_up_cost) {
+        // Uniform price: every winner of the slot gets the best losing bid
+        // (>= its own bid by the greedy order).
+        payment = *runner_up_cost;
+        MCS_ASSERT(payment >= own, "runner-up bid below a winner's bid");
+      } else if (config_.no_runner_up ==
+                 SecondPriceConfig::NoRunnerUp::kTaskValue) {
+        payment = std::max(scenario.task_value, own);
+      } else {
+        payment = own;
+      }
+      outcome.payments[static_cast<std::size_t>(winner.value())] = payment;
+    }
+  }
+
+  outcome.validate(scenario, bids);
+  return outcome;
+}
+
+}  // namespace mcs::auction

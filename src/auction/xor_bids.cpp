@@ -1,0 +1,187 @@
+#include "auction/xor_bids.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "matching/hungarian.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+void check_profile(const model::Scenario& scenario,
+                   const XorBidProfile& profile) {
+  if (profile.size() != scenario.phones.size()) {
+    throw InvalidScenarioError("XOR profile size differs from phone count");
+  }
+  for (const XorBid& bid : profile) {
+    for (const BidOption& option : bid) {
+      if (option.window.begin().value() < 1 ||
+          option.window.end().value() > scenario.num_slots) {
+        throw InvalidScenarioError("XOR option window outside the round");
+      }
+      if (option.cost.is_negative() || option.cost >= Money::max()) {
+        throw InvalidScenarioError("XOR option cost out of range");
+      }
+    }
+  }
+}
+
+/// Cheapest option of `bid` covering `slot` (ties: lowest index), or -1.
+int best_option_for(const XorBid& bid, Slot slot) {
+  int best = -1;
+  for (std::size_t k = 0; k < bid.size(); ++k) {
+    if (!bid[k].window.contains(slot)) continue;
+    if (best < 0 || bid[k].cost < bid[static_cast<std::size_t>(best)].cost) {
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int XorOutcome::allocated_count() const {
+  int count = 0;
+  for (const auto& a : assignments) {
+    if (a) ++count;
+  }
+  return count;
+}
+
+bool XorOutcome::is_winner(PhoneId phone) const {
+  for (const auto& a : assignments) {
+    if (a && a->phone == phone) return true;
+  }
+  return false;
+}
+
+Money XorOutcome::claimed_welfare(const model::Scenario& scenario,
+                                  const XorBidProfile& profile) const {
+  Money welfare;
+  for (std::size_t t = 0; t < assignments.size(); ++t) {
+    if (const auto& a = assignments[t]) {
+      welfare += scenario.value_of(TaskId{static_cast<int>(t)}) -
+                 profile[static_cast<std::size_t>(a->phone.value())]
+                        [static_cast<std::size_t>(a->option)]
+                            .cost;
+    }
+  }
+  return welfare;
+}
+
+Money XorOutcome::utility(const XorBidProfile& profile, PhoneId phone) const {
+  Money cost;
+  for (const auto& a : assignments) {
+    if (a && a->phone == phone) {
+      cost = profile[static_cast<std::size_t>(phone.value())]
+                    [static_cast<std::size_t>(a->option)]
+                        .cost;
+    }
+  }
+  return payments[static_cast<std::size_t>(phone.value())] - cost;
+}
+
+void XorOutcome::validate(const model::Scenario& scenario,
+                          const XorBidProfile& profile) const {
+  MCS_ASSERT(assignments.size() == static_cast<std::size_t>(scenario.task_count()),
+             "assignment vector size mismatch");
+  MCS_ASSERT(payments.size() == profile.size(), "payment vector size mismatch");
+  std::vector<char> exercised(profile.size(), 0);
+  for (std::size_t t = 0; t < assignments.size(); ++t) {
+    const auto& a = assignments[t];
+    if (!a) continue;
+    const auto phone = static_cast<std::size_t>(a->phone.value());
+    MCS_ASSERT(phone < profile.size(), "assigned phone out of range");
+    MCS_ASSERT(!exercised[phone], "phone exercised two options");
+    exercised[phone] = 1;
+    MCS_ASSERT(a->option >= 0 &&
+                   static_cast<std::size_t>(a->option) < profile[phone].size(),
+               "option index out of range");
+    const Slot slot = scenario.tasks[t].slot;
+    MCS_ASSERT(profile[phone][static_cast<std::size_t>(a->option)]
+                   .window.contains(slot),
+               "exercised option does not cover the task's slot");
+  }
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (!exercised[i]) {
+      MCS_ASSERT(payments[i].is_zero(), "loser received a payment");
+    }
+  }
+}
+
+matching::WeightMatrix build_xor_graph(const model::Scenario& scenario,
+                                       const XorBidProfile& profile) {
+  check_profile(scenario, profile);
+  matching::WeightMatrix graph(scenario.task_count(), scenario.phone_count());
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    const Slot slot = scenario.tasks[static_cast<std::size_t>(t)].slot;
+    const Money value = scenario.value_of(TaskId{t});
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      const int option =
+          best_option_for(profile[static_cast<std::size_t>(i)], slot);
+      if (option >= 0) {
+        graph.set(t, i,
+                  value - profile[static_cast<std::size_t>(i)]
+                                 [static_cast<std::size_t>(option)]
+                                     .cost);
+      }
+    }
+  }
+  return graph;
+}
+
+Money optimal_xor_welfare(const model::Scenario& scenario,
+                          const XorBidProfile& profile) {
+  matching::MaxWeightMatcher matcher(build_xor_graph(scenario, profile));
+  return matcher.total_weight();
+}
+
+XorOutcome run_xor_vcg(const model::Scenario& scenario,
+                       const XorBidProfile& profile) {
+  scenario.validate();
+  const matching::WeightMatrix graph = build_xor_graph(scenario, profile);
+  matching::MaxWeightMatcher matcher(graph);
+  const matching::Matching& matching = matcher.solve();
+  const Money welfare_all = matcher.total_weight();
+
+  XorOutcome outcome;
+  outcome.assignments.assign(
+      static_cast<std::size_t>(scenario.task_count()), std::nullopt);
+  outcome.payments.assign(profile.size(), Money{});
+
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    const auto col = matching.row_to_col[static_cast<std::size_t>(t)];
+    if (!col) continue;
+    const Slot slot = scenario.tasks[static_cast<std::size_t>(t)].slot;
+    const int option =
+        best_option_for(profile[static_cast<std::size_t>(*col)], slot);
+    MCS_ASSERT(option >= 0, "matched pair must have a covering option");
+    outcome.assignments[static_cast<std::size_t>(t)] =
+        XorAssignment{PhoneId{*col}, option};
+
+    // Phone-level VCG: remove ALL of the phone's options.
+    const Money without = matcher.total_weight_without_column(*col);
+    const Money exercised_cost = profile[static_cast<std::size_t>(*col)]
+                                        [static_cast<std::size_t>(option)]
+                                            .cost;
+    const Money payment = welfare_all + exercised_cost - without;
+    MCS_ENSURES(payment >= exercised_cost, "VCG payment below exercised cost");
+    outcome.payments[static_cast<std::size_t>(*col)] = payment;
+  }
+
+  outcome.validate(scenario, profile);
+  return outcome;
+}
+
+XorBidProfile as_xor_profile(const model::BidProfile& bids) {
+  XorBidProfile profile;
+  profile.reserve(bids.size());
+  for (const model::Bid& bid : bids) {
+    profile.push_back(XorBid{BidOption{bid.window, bid.claimed_cost}});
+  }
+  return profile;
+}
+
+}  // namespace mcs::auction

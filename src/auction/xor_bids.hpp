@@ -1,0 +1,93 @@
+// XOR multi-window bids -- relaxing the paper's single-bid restriction.
+//
+// Section III-B fixes "each smartphone submits at most one bid", so a
+// commuter who is free 8-9am *and* 6-8pm must pick one window to offer.
+// This extension lets a phone submit several (window, cost) options with
+// at most one exercised (XOR semantics) -- different windows may carry
+// different costs (sensing while charging at home is cheaper than on the
+// move).
+//
+// Offline, the problem collapses back to a matching: a phone serving task
+// tau would always exercise its cheapest option covering tau's slot, so
+// the task x phone graph simply takes, per pair, the best option's weight.
+// The optimal allocation and VCG payments then reuse the Section IV
+// machinery unchanged -- which is itself the interesting finding: the
+// offline mechanism extends to XOR bids for free, while the online
+// mechanism's pool ordering has no obvious single-key analog (an open
+// design question we document rather than hand-wave).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/outcome.hpp"
+#include "matching/bipartite_graph.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::auction {
+
+/// One alternative offer: "I can serve one task within `window` at `cost`".
+struct BidOption {
+  SlotInterval window;
+  Money cost;
+
+  friend bool operator==(const BidOption&, const BidOption&) = default;
+};
+
+/// A phone's XOR bid: any number of options, at most one exercised.
+/// An empty vector means the phone abstains from the round.
+using XorBid = std::vector<BidOption>;
+
+/// One XOR bid per phone; index is the PhoneId value.
+using XorBidProfile = std::vector<XorBid>;
+
+struct XorAssignment {
+  PhoneId phone{-1};
+  int option{-1};  ///< index into the phone's XorBid
+};
+
+struct XorOutcome {
+  /// Per task: the exercised (phone, option), or nullopt when unserved.
+  std::vector<std::optional<XorAssignment>> assignments;
+  std::vector<Money> payments;  ///< per phone; losers 0
+
+  [[nodiscard]] int allocated_count() const;
+  [[nodiscard]] bool is_winner(PhoneId phone) const;
+
+  /// Claimed welfare: sum of value - exercised option cost.
+  [[nodiscard]] Money claimed_welfare(const model::Scenario& scenario,
+                                      const XorBidProfile& profile) const;
+
+  /// Utility when the profile's costs are truthful: payment minus the
+  /// exercised option's cost (losers: payment, which must be 0).
+  [[nodiscard]] Money utility(const XorBidProfile& profile,
+                              PhoneId phone) const;
+
+  /// Structural checks (option indices valid, windows cover the tasks,
+  /// each phone exercised at most once, losers unpaid).
+  void validate(const model::Scenario& scenario,
+                const XorBidProfile& profile) const;
+};
+
+/// The derived task x phone graph: per pair, the cheapest covering
+/// option's weight (exposed for tests).
+[[nodiscard]] matching::WeightMatrix build_xor_graph(
+    const model::Scenario& scenario, const XorBidProfile& profile);
+
+/// Optimal claimed welfare under XOR bids.
+[[nodiscard]] Money optimal_xor_welfare(const model::Scenario& scenario,
+                                        const XorBidProfile& profile);
+
+/// Optimal allocation + phone-level VCG payments. A winner exercising
+/// option o is paid cost_o plus its marginal contribution; reporting true
+/// option costs and the full true option set is optimal (VCG: hiding an
+/// option or inflating a cost can only shrink omega*(B) while leaving
+/// omega*(B_{-i}) fixed) -- spot-checked in the tests.
+[[nodiscard]] XorOutcome run_xor_vcg(const model::Scenario& scenario,
+                                     const XorBidProfile& profile);
+
+/// Embeds single-window bids as XOR bids (one option each); the outcome
+/// then coincides with OfflineVcgMechanism (tested).
+[[nodiscard]] XorBidProfile as_xor_profile(const model::BidProfile& bids);
+
+}  // namespace mcs::auction

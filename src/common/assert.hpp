@@ -1,0 +1,40 @@
+// Contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// MCS_EXPECTS(cond, msg)  -- precondition at function entry
+// MCS_ENSURES(cond, msg)  -- postcondition before returning
+// MCS_ASSERT(cond, msg)   -- internal invariant
+//
+// All three throw mcs::ContractViolation with file:line context. They are
+// always on: the auction mechanisms are knife-edge on their invariants
+// (truthfulness proofs assume them), and the checks are cheap relative to
+// the combinatorial solvers they guard.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mcs::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " -- " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace mcs::detail
+
+#define MCS_CONTRACT_CHECK_(kind, cond, msg)                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mcs::detail::contract_failure(kind, #cond, __FILE__, __LINE__, msg);  \
+    }                                                                         \
+  } while (false)
+
+#define MCS_EXPECTS(cond, msg) MCS_CONTRACT_CHECK_("precondition", cond, msg)
+#define MCS_ENSURES(cond, msg) MCS_CONTRACT_CHECK_("postcondition", cond, msg)
+#define MCS_ASSERT(cond, msg) MCS_CONTRACT_CHECK_("invariant", cond, msg)

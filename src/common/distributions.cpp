@@ -1,0 +1,169 @@
+#include "common/distributions.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace mcs {
+
+// ---------------------------------------------------------------- Poisson
+
+PoissonSampler::PoissonSampler(double lambda) : lambda_(lambda) {
+  MCS_EXPECTS(lambda >= 0.0 && std::isfinite(lambda),
+              "PoissonSampler requires finite lambda >= 0");
+  if (lambda_ < 10.0) {
+    exp_neg_lambda_ = std::exp(-lambda_);
+  } else {
+    // PTRS constants (Hormann, "The transformed rejection method for
+    // generating Poisson random variables", 1993).
+    b_ = 0.931 + 2.53 * std::sqrt(lambda_);
+    a_ = -0.059 + 0.02483 * b_;
+    inv_alpha_ = 1.1239 + 1.1328 / (b_ - 3.4);
+    v_r_ = 0.9277 - 3.6224 / (b_ - 2.0);
+    log_lambda_ = std::log(lambda_);
+  }
+}
+
+std::int64_t PoissonSampler::sample(Rng& rng) const {
+  if (lambda_ == 0.0) return 0;
+  return lambda_ < 10.0 ? sample_knuth(rng) : sample_ptrs(rng);
+}
+
+std::int64_t PoissonSampler::sample_knuth(Rng& rng) const {
+  std::int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > exp_neg_lambda_);
+  return k - 1;
+}
+
+std::int64_t PoissonSampler::sample_ptrs(Rng& rng) const {
+  // Transformed rejection with squeeze; expected < 1.2 iterations.
+  for (;;) {
+    const double u = rng.uniform01() - 0.5;
+    const double v = rng.uniform01();
+    const double us = 0.5 - std::abs(u);
+    const auto k = static_cast<std::int64_t>(
+        std::floor((2.0 * a_ / us + b_) * u + lambda_ + 0.43));
+    if (us >= 0.07 && v <= v_r_) return k;
+    if (k < 0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v * inv_alpha_ / (a_ / (us * us) + b_)) <=
+        static_cast<double>(k) * log_lambda_ - lambda_ -
+            std::lgamma(static_cast<double>(k) + 1.0)) {
+      return k;
+    }
+  }
+}
+
+// ------------------------------------------------------------ UniformInt
+
+UniformIntSampler::UniformIntSampler(std::int64_t lo, std::int64_t hi)
+    : lo_(lo), hi_(hi) {
+  MCS_EXPECTS(lo <= hi, "UniformIntSampler requires lo <= hi");
+}
+
+std::int64_t UniformIntSampler::sample(Rng& rng) const {
+  return rng.uniform_int(lo_, hi_);
+}
+
+// ----------------------------------------------------------- Exponential
+
+ExponentialSampler::ExponentialSampler(double rate) : rate_(rate) {
+  MCS_EXPECTS(rate > 0.0 && std::isfinite(rate),
+              "ExponentialSampler requires finite rate > 0");
+}
+
+double ExponentialSampler::sample(Rng& rng) const {
+  // Inversion; 1 - u in (0, 1] avoids log(0).
+  return -std::log1p(-rng.uniform01()) / rate_;
+}
+
+// ---------------------------------------------------------------- Normal
+
+NormalSampler::NormalSampler(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  MCS_EXPECTS(stddev >= 0.0 && std::isfinite(stddev),
+              "NormalSampler requires finite stddev >= 0");
+}
+
+double NormalSampler::sample(Rng& rng) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean_ + stddev_ * spare_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = rng.uniform_real(-1.0, 1.0);
+    v = rng.uniform_real(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean_ + stddev_ * (u * factor);
+}
+
+double NormalSampler::sample_truncated(Rng& rng, double lo, double hi) {
+  MCS_EXPECTS(lo < hi, "sample_truncated requires lo < hi");
+  // Plain rejection; fine for the mild truncations used by the workload
+  // generator (support several stddevs wide).
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const double x = sample(rng);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Degenerate truncation (interval far in a tail): fall back to uniform so
+  // generation still terminates deterministically.
+  return rng.uniform_real(lo, hi);
+}
+
+// -------------------------------------------------------------- Discrete
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  MCS_EXPECTS(!weights.empty(), "DiscreteSampler requires at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    MCS_EXPECTS(w >= 0.0 && std::isfinite(w),
+                "DiscreteSampler weights must be finite and nonnegative");
+    total += w;
+  }
+  MCS_EXPECTS(total > 0.0, "DiscreteSampler requires positive total weight");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker/Vose alias construction.
+  std::vector<double> scaled(n);
+  std::deque<std::uint32_t> small;
+  std::deque<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.front();
+    small.pop_front();
+    const std::uint32_t l = large.front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const std::size_t column = rng.next_below(prob_.size());
+  return rng.uniform01() < prob_[column]
+             ? column
+             : static_cast<std::size_t>(alias_[column]);
+}
+
+}  // namespace mcs

@@ -1,0 +1,106 @@
+// Samplers for the workload model of Section VI-A.
+//
+// The paper draws smartphone and task arrivals from Poisson distributions
+// and active-time lengths from a uniform distribution; we add exponential,
+// (truncated) normal, and general discrete distributions so experiments can
+// probe robustness of the mechanisms to other workloads (an extension the
+// evaluation section motivates but does not run).
+//
+// All samplers draw from mcs::Rng only, keeping every experiment
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs {
+
+/// Poisson(lambda) sampler.
+///
+/// Uses Knuth's product-of-uniforms method for small lambda and the
+/// transformed-rejection method (PTRS, Hormann 1993) for lambda >= 10, so
+/// sampling stays O(1) for the arrival-rate sweeps of Figs. 7 and 10.
+class PoissonSampler {
+ public:
+  explicit PoissonSampler(double lambda);
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+  std::int64_t sample(Rng& rng) const;
+
+ private:
+  std::int64_t sample_knuth(Rng& rng) const;
+  std::int64_t sample_ptrs(Rng& rng) const;
+
+  double lambda_;
+  // Precomputed constants.
+  double exp_neg_lambda_{0.0};  // Knuth
+  double b_{0.0}, a_{0.0}, inv_alpha_{0.0}, v_r_{0.0}, log_lambda_{0.0};  // PTRS
+};
+
+/// Uniform integer on the closed range [lo, hi].
+class UniformIntSampler {
+ public:
+  UniformIntSampler(std::int64_t lo, std::int64_t hi);
+
+  [[nodiscard]] std::int64_t lo() const { return lo_; }
+  [[nodiscard]] std::int64_t hi() const { return hi_; }
+  [[nodiscard]] double mean() const {
+    return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_));
+  }
+
+  std::int64_t sample(Rng& rng) const;
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+};
+
+/// Exponential(rate) sampler by inversion.
+class ExponentialSampler {
+ public:
+  explicit ExponentialSampler(double rate);
+
+  double sample(Rng& rng) const;
+
+ private:
+  double rate_;
+};
+
+/// Normal(mean, stddev) sampler (Marsaglia polar method, cached spare).
+class NormalSampler {
+ public:
+  NormalSampler(double mean, double stddev);
+
+  double sample(Rng& rng);
+
+  /// Redraws until the value lands in [lo, hi]; requires a nonempty
+  /// intersection of [lo, hi] with the distribution's support (always true
+  /// for the normal) and lo < hi.
+  double sample_truncated(Rng& rng, double lo, double hi);
+
+ private:
+  double mean_;
+  double stddev_;
+  bool has_spare_{false};
+  double spare_{0.0};
+};
+
+/// Sampler over {0, .., n-1} with given nonnegative weights, using Walker's
+/// alias method: O(n) setup, O(1) per sample.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,54 @@
+// Error vocabulary for the mcs library.
+//
+// The library signals failure to perform a required task with exceptions
+// (Core Guidelines I.10). All exceptions derive from mcs::Error so callers
+// can catch library failures as one family. Programming-contract violations
+// (broken preconditions/invariants) use the distinct ContractViolation
+// branch so tests can assert on them specifically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A contract (precondition, postcondition, or invariant) was violated.
+/// Raised by MCS_EXPECTS / MCS_ENSURES / MCS_ASSERT.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// An input describes a structurally invalid auction instance
+/// (e.g. a bid whose departure precedes its arrival).
+class InvalidScenarioError : public Error {
+ public:
+  explicit InvalidScenarioError(const std::string& what) : Error(what) {}
+};
+
+/// A solver could not produce a solution (should not happen for the
+/// well-formed instances this library constructs; indicates a bug upstream).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// Failure writing experiment artifacts (CSV/JSON files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mcs

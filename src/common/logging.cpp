@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace mcs {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view message) {
+        std::cerr << to_string(level) << ' ' << message << '\n';
+      }) {}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace mcs

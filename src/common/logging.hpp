@@ -1,0 +1,68 @@
+// Minimal leveled logging.
+//
+// The simulators log progress at Info and algorithmic traces at Debug. The
+// sink and threshold are process-wide but mutable only through the explicit
+// Logger interface (so tests can capture output); default is stderr at Warn,
+// which keeps bench/test output clean.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mcs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default writes "LEVEL message\n" to stderr).
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel level_{LogLevel::kWarn};
+  Sink sink_;
+};
+
+namespace detail {
+
+/// Builds the message lazily: the stream only runs when the level is on.
+template <typename Fn>
+void log_lazy(LogLevel level, Fn&& build) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  build(os);
+  logger.log(level, os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mcs
+
+#define MCS_LOG(level, expr)                                              \
+  ::mcs::detail::log_lazy((level), [&](std::ostringstream& mcs_log_os) {  \
+    mcs_log_os << expr;                                                   \
+  })
+
+#define MCS_LOG_DEBUG(expr) MCS_LOG(::mcs::LogLevel::kDebug, expr)
+#define MCS_LOG_INFO(expr) MCS_LOG(::mcs::LogLevel::kInfo, expr)
+#define MCS_LOG_WARN(expr) MCS_LOG(::mcs::LogLevel::kWarn, expr)
+#define MCS_LOG_ERROR(expr) MCS_LOG(::mcs::LogLevel::kError, expr)

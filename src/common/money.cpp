@@ -1,0 +1,92 @@
+#include "common/money.hpp"
+
+#include "common/error.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace mcs {
+
+Money Money::from_double(double units) {
+  MCS_EXPECTS(std::isfinite(units), "Money::from_double requires a finite value");
+  const double micros = units * static_cast<double>(kScale);
+  MCS_EXPECTS(std::abs(micros) < static_cast<double>(max().micros()),
+              "Money::from_double out of range");
+  return Money{static_cast<std::int64_t>(std::llround(micros))};
+}
+
+double Money::ratio_to(Money denom) const {
+  MCS_EXPECTS(denom.micros_ != 0, "Money::ratio_to requires nonzero denominator");
+  return static_cast<double>(micros_) / static_cast<double>(denom.micros_);
+}
+
+std::string Money::to_string() const {
+  const bool negative = micros_ < 0;
+  // Avoid overflow on INT64_MIN is moot: Money never holds it (max() guard).
+  const std::int64_t abs = negative ? -micros_ : micros_;
+  const std::int64_t whole = abs / kScale;
+  std::int64_t frac = abs % kScale;
+
+  std::ostringstream os;
+  if (negative) os << '-';
+  os << whole;
+  if (frac != 0) {
+    // Render up to 6 fractional digits, trimming trailing zeros.
+    char digits[7];
+    for (int i = 5; i >= 0; --i) {
+      digits[i] = static_cast<char>('0' + frac % 10);
+      frac /= 10;
+    }
+    digits[6] = '\0';
+    int last = 5;
+    while (last > 0 && digits[last] == '0') --last;
+    os << '.';
+    for (int i = 0; i <= last; ++i) os << digits[i];
+  }
+  return os.str();
+}
+
+Money Money::parse(std::string_view text) {
+  const auto fail = [&]() -> Money {
+    throw InvalidArgumentError("malformed Money literal: '" +
+                               std::string(text) + "'");
+  };
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    return fail();
+  }
+  std::int64_t whole = 0;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    whole = whole * 10 + (text[pos] - '0');
+    if (whole > max().micros() / kScale) return fail();  // overflow guard
+    ++pos;
+  }
+  std::int64_t frac = 0;
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    int digits = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      if (++digits > 6) return fail();  // finer than a micro-unit
+      frac = frac * 10 + (text[pos] - '0');
+      ++pos;
+    }
+    if (digits == 0) return fail();  // "1." is malformed
+    for (; digits < 6; ++digits) frac *= 10;
+  }
+  if (pos != text.size()) return fail();
+  const std::int64_t micros = whole * kScale + frac;
+  return Money{negative ? -micros : micros};
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) { return os << m.to_string(); }
+
+}  // namespace mcs

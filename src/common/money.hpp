@@ -1,0 +1,104 @@
+// Exact fixed-point money arithmetic.
+//
+// Every cost, bid, value, payment, and welfare figure in the library is a
+// Money. Truthfulness and individual-rationality are knife-edge properties:
+// the audits compare utilities for exact (non-)improvement, so the
+// representation must be exact. Money stores an int64 count of micro-units
+// (1 unit == 1'000'000 micros), giving ~9.2e12 units of headroom -- far
+// beyond any welfare sum this library produces.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace mcs {
+
+class Money {
+ public:
+  /// Micro-units per whole unit.
+  static constexpr std::int64_t kScale = 1'000'000;
+
+  constexpr Money() = default;
+
+  /// Named constructor from whole units (the common case in the paper's
+  /// examples: integer costs like 3, 5, 11).
+  [[nodiscard]] static constexpr Money from_units(std::int64_t units) {
+    return Money{units * kScale};
+  }
+
+  /// Named constructor from raw micro-units.
+  [[nodiscard]] static constexpr Money from_micros(std::int64_t micros) {
+    return Money{micros};
+  }
+
+  /// Nearest-micro conversion from a double (used only at workload
+  /// generation boundaries, never in mechanism arithmetic).
+  [[nodiscard]] static Money from_double(double units);
+
+  /// Largest representable amount; used as "+infinity" sentinel by solvers.
+  [[nodiscard]] static constexpr Money max() {
+    return Money{INT64_MAX / 4};  // headroom so sums of a few maxes cannot overflow
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(micros_) / static_cast<double>(kScale);
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return micros_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return micros_ < 0; }
+
+  friend constexpr auto operator<=>(Money, Money) = default;
+
+  constexpr Money& operator+=(Money rhs) {
+    micros_ += rhs.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money rhs) {
+    micros_ -= rhs.micros_;
+    return *this;
+  }
+  friend constexpr Money operator+(Money a, Money b) { return a += b; }
+  friend constexpr Money operator-(Money a, Money b) { return a -= b; }
+  friend constexpr Money operator-(Money a) { return Money{-a.micros_}; }
+
+  /// Scale by an integer count (e.g. gamma tasks x value nu).
+  friend constexpr Money operator*(Money a, std::int64_t k) {
+    return Money{a.micros_ * k};
+  }
+  friend constexpr Money operator*(std::int64_t k, Money a) { return a * k; }
+
+  /// Exact ratio of two amounts (overpayment ratio, competitive ratio).
+  /// Denominator must be nonzero.
+  [[nodiscard]] double ratio_to(Money denom) const;
+
+  /// "12.5" style rendering with trailing zeros trimmed.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() format: optional sign, digits, optional '.'
+  /// plus up to six fractional digits ("25", "-3.5", "0.000001"). Throws
+  /// InvalidArgumentError on malformed input or overflow. Exact inverse of
+  /// to_string().
+  [[nodiscard]] static Money parse(std::string_view text);
+
+ private:
+  constexpr explicit Money(std::int64_t micros) : micros_(micros) {}
+
+  std::int64_t micros_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, Money m);
+
+namespace money_literals {
+
+/// 25_mu  == Money::from_units(25).
+constexpr Money operator""_mu(unsigned long long units) {
+  return Money::from_units(static_cast<std::int64_t>(units));
+}
+
+}  // namespace money_literals
+
+}  // namespace mcs

@@ -1,0 +1,88 @@
+// Strong vocabulary types for the crowdsourcing auction domain.
+//
+// Slots, smartphone ids, and task ids are all "just integers", and mixing
+// them up is exactly the class of bug a reproduction cannot afford. Each is
+// therefore a distinct strong type (Core Guidelines I.4): same machine cost
+// as a raw integer, but no accidental cross-assignment.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mcs {
+
+namespace detail {
+
+/// CRTP-free tagged integer. `Tag` makes distinct instantiations
+/// incompatible; `Rep` is the underlying representation.
+template <typename Tag, typename Rep = std::int32_t>
+class TaggedInt {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedInt() = default;
+  constexpr explicit TaggedInt(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(TaggedInt, TaggedInt) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedInt v) {
+    return os << v.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+}  // namespace detail
+
+/// One time slot inside a round. Slots are 1-based like the paper
+/// (slot 1 is the first slot of the round); Slot(0) is used as "before the
+/// round" sentinel in a few algorithms and never denotes a real slot.
+struct SlotTag {};
+using Slot = detail::TaggedInt<SlotTag>;
+
+/// Identity of a smartphone (bidder). Dense, 0-based within a scenario.
+struct PhoneTag {};
+using PhoneId = detail::TaggedInt<PhoneTag>;
+
+/// Identity of a sensing task. Dense, 0-based within a scenario; a task also
+/// carries the slot it arrived in (see model/task.hpp).
+struct TaskTag {};
+using TaskId = detail::TaggedInt<TaskTag>;
+
+/// Successor slot (slots are traversed in time order everywhere).
+[[nodiscard]] constexpr Slot next(Slot s) { return Slot{s.value() + 1}; }
+
+/// Predecessor slot.
+[[nodiscard]] constexpr Slot prev(Slot s) { return Slot{s.value() - 1}; }
+
+}  // namespace mcs
+
+namespace std {
+
+template <>
+struct hash<mcs::Slot> {
+  size_t operator()(mcs::Slot s) const noexcept {
+    return hash<mcs::Slot::rep_type>{}(s.value());
+  }
+};
+
+template <>
+struct hash<mcs::PhoneId> {
+  size_t operator()(mcs::PhoneId p) const noexcept {
+    return hash<mcs::PhoneId::rep_type>{}(p.value());
+  }
+};
+
+template <>
+struct hash<mcs::TaskId> {
+  size_t operator()(mcs::TaskId t) const noexcept {
+    return hash<mcs::TaskId::rep_type>{}(t.value());
+  }
+};
+
+}  // namespace std

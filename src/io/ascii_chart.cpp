@@ -1,0 +1,105 @@
+#include "io/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcs::io {
+
+AsciiChart::AsciiChart(int width, int height) : width_(width), height_(height) {
+  MCS_EXPECTS(width >= 10 && height >= 4, "chart area too small");
+}
+
+void AsciiChart::render(std::ostream& os, const std::vector<double>& xs,
+                        const std::vector<ChartSeries>& series) const {
+  MCS_EXPECTS(!xs.empty(), "chart needs at least one x value");
+  MCS_EXPECTS(!series.empty(), "chart needs at least one series");
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    MCS_EXPECTS(xs[k] > xs[k - 1], "x values must be strictly increasing");
+  }
+
+  double y_min = series.front().ys.empty() ? 0.0 : series.front().ys.front();
+  double y_max = y_min;
+  for (const ChartSeries& s : series) {
+    MCS_EXPECTS(s.ys.size() == xs.size(), "series size must match x values");
+    for (const double y : s.ys) {
+      MCS_EXPECTS(std::isfinite(y), "series values must be finite");
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (y_max == y_min) {
+    // Flat data: open up a symmetric band so the line sits mid-chart.
+    const double pad = y_max == 0.0 ? 1.0 : std::abs(y_max) * 0.1;
+    y_min -= pad;
+    y_max += pad;
+  }
+
+  const double x_min = xs.front();
+  const double x_max = xs.back();
+  const double x_span = x_max > x_min ? x_max - x_min : 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  const auto plot = [&](double x, double y, char marker) {
+    const int col = static_cast<int>(std::lround(
+        (x - x_min) / x_span * (width_ - 1)));
+    const int row = static_cast<int>(std::lround(
+        (y_max - y) / (y_max - y_min) * (height_ - 1)));
+    char& cell = grid[static_cast<std::size_t>(row)]
+                     [static_cast<std::size_t>(col)];
+    cell = (cell == ' ' || cell == marker) ? marker : '#';
+  };
+  for (const ChartSeries& s : series) {
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      plot(xs[k], s.ys[k], s.marker);
+    }
+  }
+
+  // Left axis labels on the top, middle, and bottom rows.
+  const auto label_for_row = [&](int row) -> std::string {
+    const double y =
+        y_max - (y_max - y_min) * row / static_cast<double>(height_ - 1);
+    std::ostringstream text;
+    text << std::setw(10) << std::fixed << std::setprecision(2) << y;
+    return text.str();
+  };
+  for (int row = 0; row < height_; ++row) {
+    const bool labeled = row == 0 || row == height_ - 1 || row == height_ / 2;
+    os << (labeled ? label_for_row(row) : std::string(10, ' ')) << " |"
+       << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  {
+    std::ostringstream x_axis;
+    x_axis << std::setw(12) << std::left << "" << xs.front();
+    std::string line = x_axis.str();
+    std::ostringstream right;
+    right << xs.back();
+    const std::string right_text = right.str();
+    const std::size_t total = 12 + static_cast<std::size_t>(width_);
+    if (line.size() + right_text.size() < total) {
+      line += std::string(total - line.size() - right_text.size(), ' ');
+    }
+    os << line << right_text << '\n';
+  }
+  os << std::string(12, ' ');
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    if (k > 0) os << "   ";
+    os << series[k].marker << " = " << series[k].name;
+  }
+  os << "   (# = overlap)\n";
+}
+
+std::string AsciiChart::to_string(const std::vector<double>& xs,
+                                  const std::vector<ChartSeries>& series) const {
+  std::ostringstream os;
+  render(os, xs, series);
+  return os.str();
+}
+
+}  // namespace mcs::io

@@ -1,0 +1,40 @@
+// Terminal line charts for the figure benches.
+//
+// Each reproduced figure is a couple of series over a swept parameter; a
+// small ASCII plot under the data table makes the paper's *shape* claims
+// (increasing/decreasing/stable, who is on top, where gaps grow) visible
+// at a glance in the bench output without any external tooling.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcs::io {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> ys;  ///< one value per x position
+  char marker{'o'};
+};
+
+class AsciiChart {
+ public:
+  /// Plot area dimensions in characters (excluding axis labels).
+  AsciiChart(int width = 60, int height = 16);
+
+  /// Renders all series over the shared x values. Requirements: at least
+  /// one x, every series sized like xs, xs strictly increasing. Collisions
+  /// between series are drawn as '#'.
+  void render(std::ostream& os, const std::vector<double>& xs,
+              const std::vector<ChartSeries>& series) const;
+
+  [[nodiscard]] std::string to_string(const std::vector<double>& xs,
+                                      const std::vector<ChartSeries>& series) const;
+
+ private:
+  int width_;
+  int height_;
+};
+
+}  // namespace mcs::io

@@ -1,0 +1,65 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::io {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(os) {}
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  MCS_EXPECTS(!header_written_ && rows_written_ == 0,
+              "set_header must precede the first row");
+  header_ = std::move(header);
+}
+
+void CsvWriter::write_record(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!header_written_ && !header_.empty()) {
+    write_record(header_);
+    header_written_ = true;
+  }
+  if (!header_.empty()) {
+    MCS_EXPECTS(cells.size() == header_.size(),
+                "CSV row width must match header width");
+  }
+  write_record(cells);
+  ++rows_written_;
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path);
+  if (!file) throw IoError("cannot open CSV output file: " + path);
+  CsvWriter writer(file);
+  writer.set_header(header);
+  for (const auto& row : rows) writer.write_row(row);
+  if (!file) throw IoError("error while writing CSV output file: " + path);
+}
+
+}  // namespace mcs::io

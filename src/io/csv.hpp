@@ -1,0 +1,44 @@
+// CSV emission for experiment series.
+//
+// Each bench binary can dump its series as RFC-4180 CSV (--csv <path>) so
+// the figures can be re-plotted with any external tool. Fields containing
+// separators, quotes, or newlines are quoted and inner quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcs::io {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os);
+
+  /// Writes one record; emits the header row on the first call if set.
+  void set_header(std::vector<std::string> header);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far (header excluded).
+  [[nodiscard]] std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  void write_record(const std::vector<std::string>& cells);
+
+  std::ostream& os_;
+  std::vector<std::string> header_;
+  bool header_written_{false};
+  std::size_t rows_written_{0};
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Writes a whole table (header + rows) to a file; throws IoError on
+/// failure. Used by the bench binaries' --csv flag.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mcs::io

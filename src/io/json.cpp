@@ -1,0 +1,150 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace mcs::io {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+JsonWriter::~JsonWriter() {
+  // Cannot throw from a destructor; an unbalanced writer is a bug that the
+  // complete() accessor lets tests detect.
+}
+
+bool JsonWriter::complete() const { return any_output_ && stack_.empty(); }
+
+void JsonWriter::before_value() {
+  MCS_EXPECTS(stack_.empty() ? !any_output_
+                             : stack_.back() != Frame::kObjectAwaitKey,
+              "JSON value not allowed here (missing key or extra root?)");
+  if (!stack_.empty() && stack_.back() == Frame::kArray) {
+    if (!first_in_container_) os_ << ',';
+  }
+  if (!stack_.empty() && stack_.back() == Frame::kObjectAwaitValue) {
+    stack_.back() = Frame::kObjectAwaitKey;
+  }
+  first_in_container_ = false;
+  any_output_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObjectAwaitKey);
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MCS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObjectAwaitKey,
+              "end_object without matching begin_object (or dangling key)");
+  stack_.pop_back();
+  os_ << '}';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MCS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray,
+              "end_array without matching begin_array");
+  stack_.pop_back();
+  os_ << ']';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MCS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObjectAwaitKey,
+              "JSON key outside an object");
+  if (!first_in_container_) os_ << ',';
+  os_ << '"' << json_escape(name) << "\":";
+  stack_.back() = Frame::kObjectAwaitValue;
+  first_in_container_ = true;  // suppress comma before the value
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  os_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view{text});
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (std::isfinite(number)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", number);
+    os_ << buf;
+  } else {
+    os_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace mcs::io

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer.
+//
+// Experiment results can be exported as JSON (machine-readable companion to
+// the CSV dumps). The writer is a push-style emitter with a tiny state
+// machine that enforces well-formedness (balanced containers, keys only in
+// objects) via contract checks -- enough for this library's output needs
+// without pulling in a JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::io {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+
+  /// Containers. Every begin must be matched by the corresponding end; the
+  /// destructor checks balance.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be directly inside an object and followed by a value.
+  JsonWriter& key(std::string_view name);
+
+  /// Scalar values.
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once all containers are closed and at least one value was written.
+  [[nodiscard]] bool complete() const;
+
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+ private:
+  enum class Frame { kObjectAwaitKey, kObjectAwaitValue, kArray };
+
+  void before_value();
+  void write_escaped(std::string_view text);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool any_output_{false};
+  bool first_in_container_{true};
+};
+
+/// Escapes a string per JSON rules (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace mcs::io

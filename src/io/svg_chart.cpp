@@ -1,0 +1,173 @@
+#include "io/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcs::io {
+
+namespace {
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 36;
+constexpr int kMarginBottom = 48;
+constexpr int kTicks = 5;
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << value;
+  std::string text = os.str();
+  // Trim trailing zeros for compact tick labels.
+  while (text.find('.') != std::string::npos &&
+         (text.back() == '0' || text.back() == '.')) {
+    const char c = text.back();
+    text.pop_back();
+    if (c == '.') break;
+  }
+  return text;
+}
+
+/// Escape for SVG text content (XML rules; json_escape covers quotes and
+/// control characters, but XML needs & and < handled, so do it directly).
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgChart::SvgChart(int width, int height) : width_(width), height_(height) {
+  MCS_EXPECTS(width >= 160 && height >= 120, "SVG canvas too small");
+}
+
+std::string SvgChart::render(const std::string& title,
+                             const std::string& x_label,
+                             const std::string& y_label,
+                             const std::vector<double>& xs,
+                             const std::vector<SvgSeries>& series) const {
+  MCS_EXPECTS(!xs.empty(), "chart needs at least one x value");
+  MCS_EXPECTS(!series.empty(), "chart needs at least one series");
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    MCS_EXPECTS(xs[k] > xs[k - 1], "x values must be strictly increasing");
+  }
+  double y_min = series.front().ys.empty() ? 0.0 : series.front().ys.front();
+  double y_max = y_min;
+  for (const SvgSeries& s : series) {
+    MCS_EXPECTS(s.ys.size() == xs.size(), "series size must match x values");
+    for (const double y : s.ys) {
+      MCS_EXPECTS(std::isfinite(y), "series values must be finite");
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (y_max == y_min) {
+    const double pad = y_max == 0.0 ? 1.0 : std::abs(y_max) * 0.1;
+    y_min -= pad;
+    y_max += pad;
+  }
+
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+  const double x_min = xs.front();
+  const double x_span = xs.back() > x_min ? xs.back() - x_min : 1.0;
+  const auto px = [&](double x) {
+    return kMarginLeft + (x - x_min) / x_span * plot_w;
+  };
+  const auto py = [&](double y) {
+    return kMarginTop + (y_max - y) / (y_max - y_min) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << std::fixed << std::setprecision(1);
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+      << height_ << "\" font-family=\"sans-serif\" font-size=\"12\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width_ / 2 << "\" y=\"18\" text-anchor=\"middle\" "
+      << "font-size=\"14\" font-weight=\"bold\">" << xml_escape(title)
+      << "</text>\n";
+
+  // Gridlines + tick labels.
+  for (int k = 0; k < kTicks; ++k) {
+    const double frac = static_cast<double>(k) / (kTicks - 1);
+    const double y_value = y_min + (y_max - y_min) * frac;
+    const double y = py(y_value);
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << y << "\" x2=\""
+        << (width_ - kMarginRight) << "\" y2=\"" << y
+        << "\" stroke=\"#dddddd\"/>\n";
+    svg << "<text x=\"" << (kMarginLeft - 6) << "\" y=\"" << (y + 4)
+        << "\" text-anchor=\"end\">" << fmt(y_value) << "</text>\n";
+
+    const double x_value = x_min + x_span * frac;
+    const double x = px(x_value);
+    svg << "<text x=\"" << x << "\" y=\"" << (height_ - kMarginBottom + 18)
+        << "\" text-anchor=\"middle\">" << fmt(x_value) << "</text>\n";
+  }
+  // Axes.
+  svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop
+      << "\" x2=\"" << kMarginLeft << "\" y2=\""
+      << (height_ - kMarginBottom) << "\" stroke=\"black\"/>\n";
+  svg << "<line x1=\"" << kMarginLeft << "\" y1=\""
+      << (height_ - kMarginBottom) << "\" x2=\"" << (width_ - kMarginRight)
+      << "\" y2=\"" << (height_ - kMarginBottom)
+      << "\" stroke=\"black\"/>\n";
+  svg << "<text x=\"" << (kMarginLeft + plot_w / 2) << "\" y=\""
+      << (height_ - 10) << "\" text-anchor=\"middle\">" << xml_escape(x_label)
+      << "</text>\n";
+  svg << "<text x=\"14\" y=\"" << (kMarginTop + plot_h / 2)
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+      << (kMarginTop + plot_h / 2) << ")\">" << xml_escape(y_label)
+      << "</text>\n";
+
+  // Series: polyline + point markers.
+  for (const SvgSeries& s : series) {
+    svg << "<polyline fill=\"none\" stroke=\"" << s.color
+        << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      if (k > 0) svg << ' ';
+      svg << px(xs[k]) << ',' << py(s.ys[k]);
+    }
+    svg << "\"/>\n";
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      svg << "<circle cx=\"" << px(xs[k]) << "\" cy=\"" << py(s.ys[k])
+          << "\" r=\"3\" fill=\"" << s.color << "\"/>\n";
+    }
+  }
+
+  // Legend, top-right inside the plot.
+  double legend_y = kMarginTop + 14;
+  for (const SvgSeries& s : series) {
+    const double x0 = width_ - kMarginRight - 150;
+    svg << "<line x1=\"" << x0 << "\" y1=\"" << (legend_y - 4) << "\" x2=\""
+        << (x0 + 22) << "\" y2=\"" << (legend_y - 4) << "\" stroke=\""
+        << s.color << "\" stroke-width=\"2\"/>\n";
+    svg << "<text x=\"" << (x0 + 28) << "\" y=\"" << legend_y << "\">"
+        << xml_escape(s.name) << "</text>\n";
+    legend_y += 18;
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace mcs::io

@@ -1,0 +1,41 @@
+// Self-contained SVG line charts.
+//
+// The ASCII charts serve the terminal; for sharing results, `mcs_cli
+// report` assembles every reproduced figure into one HTML file, and this
+// renderer draws each figure as an inline SVG -- no external plotting
+// dependency, deterministic output (byte-stable for fixed input, so
+// reports diff cleanly across runs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcs::io {
+
+struct SvgSeries {
+  std::string name;
+  std::vector<double> ys;   ///< one value per x position
+  std::string color;        ///< CSS color, e.g. "#1f77b4"
+};
+
+class SvgChart {
+ public:
+  /// Canvas size in pixels (plot area is inset by fixed margins).
+  SvgChart(int width = 640, int height = 360);
+
+  /// Renders a complete <svg> element: axes with ticks, one polyline plus
+  /// point markers per series, and a legend. Requirements mirror
+  /// AsciiChart: nonempty strictly-increasing xs, series sized like xs,
+  /// finite values.
+  [[nodiscard]] std::string render(const std::string& title,
+                                   const std::string& x_label,
+                                   const std::string& y_label,
+                                   const std::vector<double>& xs,
+                                   const std::vector<SvgSeries>& series) const;
+
+ private:
+  int width_;
+  int height_;
+};
+
+}  // namespace mcs::io

@@ -1,0 +1,64 @@
+// Fixed-width ASCII table rendering.
+//
+// Bench binaries print each reproduced figure as a table of series (the
+// paper's plots reduced to their data): one row per x-value, one column per
+// mechanism. TextTable right-aligns numeric cells and sizes columns to
+// content, so the output is directly readable in a terminal or diffable in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcs::io {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed string/double rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable& table) : table_(table) {}
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(double value, int precision = 2);
+    RowBuilder& cell(std::int64_t value);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TextTable& table_;
+    std::vector<std::string> cells_;
+  };
+
+  /// Starts a fluent row; the row is committed when the builder goes out of
+  /// scope.
+  [[nodiscard]] RowBuilder row() { return RowBuilder{*this}; }
+
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   m    online  offline
+  ///   ---  ------  -------
+  ///   30   201.5   266.0
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by table/CSV output).
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+}  // namespace mcs::io

@@ -1,0 +1,138 @@
+#include "matching/auction_algorithm.hpp"
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::matching {
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+}  // namespace
+
+Matching auction_max_weight_matching(const WeightMatrix& graph) {
+  const int nr = graph.rows();
+  const int nc = graph.cols();
+
+  Matching matching;
+  matching.row_to_col.assign(static_cast<std::size_t>(nr), std::nullopt);
+  if (nr == 0) return matching;
+
+  // The auction algorithm with epsilon scaling is sound for the *symmetric*
+  // assignment problem (every object ends up owned, so persistent prices
+  // form a valid dual). We symmetrize:
+  //   objects: nc real columns + nr private "stay unmatched" dummies;
+  //   persons: the nr real rows + nc zero-value fillers that can take any
+  //            object, soaking up whatever the real rows leave behind.
+  const int objects = nc + nr;
+  const int persons = objects;  // nr real + nc fillers
+  const std::int64_t scale = persons + 1;
+
+  std::vector<std::vector<int>> candidates(static_cast<std::size_t>(persons));
+  std::vector<std::vector<std::int64_t>> values(
+      static_cast<std::size_t>(persons));
+  std::int64_t max_abs_value = 1;
+  for (int r = 0; r < nr; ++r) {
+    for (int c = 0; c < nc; ++c) {
+      if (const auto w = graph.get(r, c)) {
+        MCS_EXPECTS(
+            (w->micros() < 0 ? -w->micros() : w->micros()) <
+                std::numeric_limits<std::int64_t>::max() / (8 * scale),
+            "weights too large for the auction solver's integer scaling");
+        candidates[static_cast<std::size_t>(r)].push_back(c);
+        const std::int64_t v = w->micros() * scale;
+        values[static_cast<std::size_t>(r)].push_back(v);
+        max_abs_value = std::max(max_abs_value, v < 0 ? -v : v);
+      }
+    }
+    candidates[static_cast<std::size_t>(r)].push_back(nc + r);
+    values[static_cast<std::size_t>(r)].push_back(0);
+  }
+  for (int f = 0; f < nc; ++f) {
+    const auto person = static_cast<std::size_t>(nr + f);
+    candidates[person].reserve(static_cast<std::size_t>(objects));
+    for (int j = 0; j < objects; ++j) {
+      candidates[person].push_back(j);
+      values[person].push_back(0);
+    }
+  }
+
+  std::vector<std::int64_t> price(static_cast<std::size_t>(objects), 0);
+  std::vector<int> owner(static_cast<std::size_t>(objects), -1);
+  std::vector<int> assigned_to(static_cast<std::size_t>(persons), -1);
+
+  // Epsilon scaling: start coarse, divide by 4 each phase, end at 1. At
+  // the final phase, integer values scaled by (persons + 1) make the
+  // epsilon-optimal assignment exactly optimal.
+  std::int64_t eps = std::max<std::int64_t>(1, max_abs_value / 4);
+  // Generous guard: termination is guaranteed, but a bug must surface as
+  // an error, not a hang.
+  std::int64_t remaining_bids = 512LL * (persons + 4) * (objects + 4) * 64;
+
+  for (;;) {
+    std::fill(owner.begin(), owner.end(), -1);
+    std::fill(assigned_to.begin(), assigned_to.end(), -1);
+    std::deque<int> unassigned;
+    for (int p = 0; p < persons; ++p) unassigned.push_back(p);
+
+    while (!unassigned.empty()) {
+      if (--remaining_bids < 0) {
+        throw SolverError("auction algorithm failed to terminate");
+      }
+      const int person = unassigned.front();
+      unassigned.pop_front();
+
+      std::int64_t best = kNegInf;
+      std::int64_t second = kNegInf;
+      int best_object = -1;
+      const auto& objs = candidates[static_cast<std::size_t>(person)];
+      const auto& vals = values[static_cast<std::size_t>(person)];
+      for (std::size_t k = 0; k < objs.size(); ++k) {
+        const std::int64_t net =
+            vals[k] - price[static_cast<std::size_t>(objs[k])];
+        if (net > best) {
+          second = best;
+          best = net;
+          best_object = objs[k];
+        } else if (net > second) {
+          second = net;
+        }
+      }
+      MCS_ASSERT(best_object >= 0, "every person has a candidate");
+
+      const std::int64_t increment =
+          (second == kNegInf ? eps : best - second + eps);
+      price[static_cast<std::size_t>(best_object)] += increment;
+
+      const int displaced = owner[static_cast<std::size_t>(best_object)];
+      if (displaced >= 0) {
+        assigned_to[static_cast<std::size_t>(displaced)] = -1;
+        unassigned.push_back(displaced);
+      }
+      owner[static_cast<std::size_t>(best_object)] = person;
+      assigned_to[static_cast<std::size_t>(person)] = best_object;
+    }
+
+    if (eps == 1) break;
+    eps = std::max<std::int64_t>(1, eps / 4);
+  }
+
+  for (int r = 0; r < nr; ++r) {
+    const int object = assigned_to[static_cast<std::size_t>(r)];
+    MCS_ASSERT(object >= 0, "real row left unassigned by the auction");
+    if (object < nc) {
+      // A negative-weight edge is never optimal (the private dummy offers
+      // 0), so matched real edges are the matching we report.
+      matching.row_to_col[static_cast<std::size_t>(r)] = object;
+      matching.total_weight += graph.weight(r, object);
+    }
+  }
+  return matching;
+}
+
+}  // namespace mcs::matching

@@ -1,0 +1,28 @@
+// Bertsekas' auction algorithm -- a third, independent max-weight matching
+// solver.
+//
+// The library's correctness story for the offline mechanism rests on
+// solver cross-validation: Hungarian (primal-dual), min-cost flow
+// (successive shortest paths), and a brute-force oracle. The auction
+// algorithm adds a fourth, structurally different method: rows (tasks)
+// *bid* for columns (phones), prices rise by at least epsilon per bid, and
+// with epsilon-scaling the final assignment is exactly optimal for integer
+// weights. Its economic interpretation -- tasks outbidding each other for
+// phones until prices clear -- also mirrors the paper's market framing,
+// which makes it a nice pedagogical implementation.
+//
+// Same conventions as MaxWeightMatcher: rows may stay unmatched (each has
+// a private zero-weight fallback), negative-weight edges are never taken.
+#pragma once
+
+#include "matching/bipartite_graph.hpp"
+
+namespace mcs::matching {
+
+/// Exact maximum-weight matching via forward auction with epsilon scaling.
+/// Weights are Money (integer micros); optimality is exact, not
+/// approximate. Intended for validation and moderate sizes -- the
+/// Hungarian solver remains the production path.
+[[nodiscard]] Matching auction_max_weight_matching(const WeightMatrix& graph);
+
+}  // namespace mcs::matching

@@ -1,0 +1,213 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::matching {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 2;
+
+}  // namespace
+
+MinCostAssigner::MinCostAssigner(int rows, int cols,
+                                 std::vector<std::int64_t> cost)
+    : rows_(rows), cols_(cols), cost_(std::move(cost)) {
+  MCS_EXPECTS(rows >= 0 && cols >= rows, "MinCostAssigner requires 0 <= rows <= cols");
+  MCS_EXPECTS(cost_.size() == static_cast<std::size_t>(rows) *
+                                  static_cast<std::size_t>(cols),
+              "cost matrix size mismatch");
+}
+
+std::int64_t MinCostAssigner::cost1(int i, int j) const {
+  // 1-based accessor used by the classical algorithm formulation.
+  return cost_[static_cast<std::size_t>(i - 1) *
+                   static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(j - 1)];
+}
+
+void MinCostAssigner::augment_row(DualState& s, int row1,
+                                  int excluded_col1) const {
+  // One shortest-augmenting-path iteration (Dijkstra on reduced costs) that
+  // matches `row1`, maintaining dual feasibility. `excluded_col1` (or 0)
+  // marks a deleted column that must not be entered.
+  std::vector<std::int64_t> minv(static_cast<std::size_t>(cols_) + 1, kInf);
+  std::vector<char> used(static_cast<std::size_t>(cols_) + 1, 0);
+  std::vector<int> way(static_cast<std::size_t>(cols_) + 1, 0);
+
+  s.p[0] = row1;
+  int j0 = 0;
+  do {
+    used[static_cast<std::size_t>(j0)] = 1;
+    const int i0 = s.p[static_cast<std::size_t>(j0)];
+    std::int64_t delta = kInf;
+    int j1 = -1;
+    for (int j = 1; j <= cols_; ++j) {
+      if (used[static_cast<std::size_t>(j)] || j == excluded_col1) continue;
+      const std::int64_t cur =
+          cost1(i0, j) - s.u[static_cast<std::size_t>(i0)] -
+          s.v[static_cast<std::size_t>(j)];
+      if (cur < minv[static_cast<std::size_t>(j)]) {
+        minv[static_cast<std::size_t>(j)] = cur;
+        way[static_cast<std::size_t>(j)] = j0;
+      }
+      if (minv[static_cast<std::size_t>(j)] < delta) {
+        delta = minv[static_cast<std::size_t>(j)];
+        j1 = j;
+      }
+    }
+    if (j1 < 0 || delta >= kForbidden / 2) {
+      throw SolverError(
+          "assignment infeasible: a row cannot reach any free column "
+          "through admissible edges");
+    }
+    for (int j = 0; j <= cols_; ++j) {
+      if (used[static_cast<std::size_t>(j)]) {
+        s.u[static_cast<std::size_t>(s.p[static_cast<std::size_t>(j)])] += delta;
+        s.v[static_cast<std::size_t>(j)] -= delta;
+      } else if (minv[static_cast<std::size_t>(j)] < kInf) {
+        minv[static_cast<std::size_t>(j)] -= delta;
+      }
+    }
+    j0 = j1;
+  } while (s.p[static_cast<std::size_t>(j0)] != 0);
+
+  // Unwind the alternating path, flipping matched/unmatched edges.
+  do {
+    const int j1 = way[static_cast<std::size_t>(j0)];
+    s.p[static_cast<std::size_t>(j0)] = s.p[static_cast<std::size_t>(j1)];
+    j0 = j1;
+  } while (j0 != 0);
+}
+
+std::int64_t MinCostAssigner::assignment_cost(const DualState& s,
+                                              int excluded_col1) const {
+  std::int64_t total = 0;
+  for (int j = 1; j <= cols_; ++j) {
+    if (j == excluded_col1) continue;
+    const int i = s.p[static_cast<std::size_t>(j)];
+    if (i != 0) total += cost1(i, j);
+  }
+  return total;
+}
+
+void MinCostAssigner::solve() {
+  if (solved_) return;
+  state_.u.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  state_.v.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  state_.p.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  for (int i = 1; i <= rows_; ++i) augment_row(state_, i, /*excluded=*/0);
+
+  row_to_col_.assign(static_cast<std::size_t>(rows_), -1);
+  for (int j = 1; j <= cols_; ++j) {
+    const int i = state_.p[static_cast<std::size_t>(j)];
+    if (i != 0) row_to_col_[static_cast<std::size_t>(i - 1)] = j - 1;
+  }
+  for (const int c : row_to_col_) {
+    MCS_ENSURES(c >= 0, "every row must be assigned after solve()");
+  }
+  total_cost_ = assignment_cost(state_, /*excluded=*/0);
+  solved_ = true;
+}
+
+const std::vector<int>& MinCostAssigner::row_to_col() const {
+  MCS_EXPECTS(solved_, "row_to_col() before solve()");
+  return row_to_col_;
+}
+
+std::int64_t MinCostAssigner::total_cost() const {
+  MCS_EXPECTS(solved_, "total_cost() before solve()");
+  return total_cost_;
+}
+
+const std::vector<std::int64_t>& MinCostAssigner::row_potentials() const {
+  MCS_EXPECTS(solved_, "row_potentials() before solve()");
+  return state_.u;
+}
+
+const std::vector<std::int64_t>& MinCostAssigner::col_potentials() const {
+  MCS_EXPECTS(solved_, "col_potentials() before solve()");
+  return state_.v;
+}
+
+std::int64_t MinCostAssigner::total_cost_excluding_column(int col) const {
+  MCS_EXPECTS(solved_, "total_cost_excluding_column() before solve()");
+  MCS_EXPECTS(col >= 0 && col < cols_, "column index out of range");
+  const int col1 = col + 1;
+  const int displaced_row = state_.p[static_cast<std::size_t>(col1)];
+  if (displaced_row == 0) {
+    // Column was unmatched: deleting it changes nothing.
+    return total_cost_;
+  }
+  // The optimal duals remain feasible for the reduced instance, and
+  // complementary slackness holds for every remaining matched pair, so a
+  // single augmentation of the displaced row restores optimality.
+  DualState s = state_;
+  s.p[static_cast<std::size_t>(col1)] = 0;
+  augment_row(s, displaced_row, col1);
+  return assignment_cost(s, col1);
+}
+
+// ------------------------------------------------------- MaxWeightMatcher
+
+namespace {
+
+/// Builds the padded min-cost instance: columns [0, real_cols) mirror the
+/// weight matrix with negated weights; column real_cols + r is row r's
+/// private zero-cost "unmatched" sink.
+MinCostAssigner build_padded_assigner(const WeightMatrix& graph) {
+  const int nr = graph.rows();
+  const int nc = graph.cols();
+  const int padded_cols = nc + nr;
+  std::vector<std::int64_t> cost(
+      static_cast<std::size_t>(nr) * static_cast<std::size_t>(padded_cols),
+      MinCostAssigner::kForbidden);
+  for (int r = 0; r < nr; ++r) {
+    const auto row_base = static_cast<std::size_t>(r) *
+                          static_cast<std::size_t>(padded_cols);
+    for (int c = 0; c < nc; ++c) {
+      if (const auto w = graph.get(r, c)) {
+        cost[row_base + static_cast<std::size_t>(c)] = -w->micros();
+      }
+    }
+    cost[row_base + static_cast<std::size_t>(nc + r)] = 0;
+  }
+  return MinCostAssigner(nr, padded_cols, std::move(cost));
+}
+
+}  // namespace
+
+MaxWeightMatcher::MaxWeightMatcher(const WeightMatrix& graph)
+    : real_cols_(graph.cols()), assigner_(build_padded_assigner(graph)) {}
+
+const Matching& MaxWeightMatcher::solve() {
+  if (solved_) return matching_;
+  assigner_.solve();
+  matching_.row_to_col.assign(static_cast<std::size_t>(assigner_.rows()),
+                              std::nullopt);
+  for (int r = 0; r < assigner_.rows(); ++r) {
+    const int c = assigner_.row_to_col()[static_cast<std::size_t>(r)];
+    if (c < real_cols_) matching_.row_to_col[static_cast<std::size_t>(r)] = c;
+  }
+  matching_.total_weight = Money::from_micros(-assigner_.total_cost());
+  MCS_ENSURES(!matching_.total_weight.is_negative(),
+              "optimal matching weight cannot be negative (empty matching is 0)");
+  solved_ = true;
+  return matching_;
+}
+
+Money MaxWeightMatcher::total_weight() {
+  solve();
+  return matching_.total_weight;
+}
+
+Money MaxWeightMatcher::total_weight_without_column(int col) {
+  MCS_EXPECTS(col >= 0 && col < real_cols_, "column index out of range");
+  solve();
+  return Money::from_micros(-assigner_.total_cost_excluding_column(col));
+}
+
+}  // namespace mcs::matching

@@ -1,0 +1,115 @@
+// Hungarian algorithm (Kuhn-Munkres via shortest augmenting paths with
+// potentials) -- the paper's optimal winning-bids determination engine.
+//
+// Two layers:
+//
+//  * MinCostAssigner: exact minimum-cost assignment of `rows` items to
+//    distinct columns of a dense int64 cost matrix (rows <= cols, forbidden
+//    entries allowed). O(rows^2 * cols) -- the O((n+gamma)^3) bound of
+//    Theorem 3. After solving it exposes the optimal dual potentials, which
+//    makes *sensitivity queries* cheap: deleting one column leaves the duals
+//    feasible, so re-optimizing needs a single augmenting-path iteration
+//    (O(rows * cols)) instead of a full re-solve. The offline VCG payment
+//    rule needs exactly this query once per winner.
+//
+//  * MaxWeightMatcher: maximum-weight (not necessarily perfect) bipartite
+//    matching over a WeightMatrix, built on MinCostAssigner by negating
+//    weights and padding with one zero-cost "stay unmatched" dummy column
+//    per row. This is the transformation of Section IV-B: a task may always
+//    remain unallocated, and negative-welfare edges are never taken.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/money.hpp"
+#include "matching/bipartite_graph.hpp"
+
+namespace mcs::matching {
+
+/// Exact min-cost assignment on a dense matrix. Indices are 0-based in the
+/// public API.
+class MinCostAssigner {
+ public:
+  /// Entries >= kForbidden/2 are treated as absent edges. A problem is
+  /// feasible iff every row can be assigned through non-forbidden entries;
+  /// infeasibility raises SolverError.
+  static constexpr std::int64_t kForbidden =
+      std::numeric_limits<std::int64_t>::max() / 8;
+
+  /// `cost` is row-major with `rows * cols` entries; requires rows <= cols.
+  MinCostAssigner(int rows, int cols, std::vector<std::int64_t> cost);
+
+  /// Runs the solver; idempotent.
+  void solve();
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  /// Optimal assignment: for each row, its column. Requires solve().
+  [[nodiscard]] const std::vector<int>& row_to_col() const;
+
+  /// Total cost of the optimal assignment. Requires solve().
+  [[nodiscard]] std::int64_t total_cost() const;
+
+  /// Optimal dual potentials (LP certificate); for all (i, j):
+  /// cost(i, j) >= u[i] + v[j], with equality on matched pairs. Exposed for
+  /// validation in tests. Requires solve().
+  [[nodiscard]] const std::vector<std::int64_t>& row_potentials() const;
+  [[nodiscard]] const std::vector<std::int64_t>& col_potentials() const;
+
+  /// Optimal total cost of the instance with column `col` deleted, assuming
+  /// the remaining instance is still feasible. Runs one augmenting-path
+  /// iteration on a copy of the dual state: O(rows * cols). Requires
+  /// solve(); does not modify this solver.
+  [[nodiscard]] std::int64_t total_cost_excluding_column(int col) const;
+
+ private:
+  struct DualState {
+    std::vector<std::int64_t> u;  // row potentials, 1-based
+    std::vector<std::int64_t> v;  // col potentials, 1-based
+    std::vector<int> p;           // p[j] = row matched to col j (1-based; 0 = free)
+  };
+
+  [[nodiscard]] std::int64_t cost1(int i, int j) const;  // 1-based access
+  void augment_row(DualState& s, int row1, int excluded_col1) const;
+  [[nodiscard]] std::int64_t assignment_cost(const DualState& s,
+                                             int excluded_col1) const;
+
+  int rows_;
+  int cols_;
+  std::vector<std::int64_t> cost_;  // row-major, 0-based storage
+  DualState state_;
+  std::vector<int> row_to_col_;
+  std::int64_t total_cost_{0};
+  bool solved_{false};
+};
+
+/// Maximum-weight bipartite matching with optional rows ("a task may stay
+/// unallocated"). The matcher owns its solve state and supports the VCG
+/// sensitivity query.
+class MaxWeightMatcher {
+ public:
+  explicit MaxWeightMatcher(const WeightMatrix& graph);
+
+  /// Optimal matching; matched edges always have weight >= 0 (a negative
+  /// edge is dominated by leaving the row unmatched). Idempotent.
+  const Matching& solve();
+
+  /// Total weight of the optimum. Implies solve().
+  Money total_weight();
+
+  /// Optimal total weight with column `col` (a smartphone) removed from the
+  /// graph -- the omega*(B_{-i}) term of the VCG payment (Eq. 7). Uses the
+  /// incremental dual query; O(rows * cols) per call. Implies solve().
+  Money total_weight_without_column(int col);
+
+ private:
+  int real_cols_;
+  MinCostAssigner assigner_;
+  Matching matching_;
+  bool solved_{false};
+};
+
+}  // namespace mcs::matching

@@ -1,0 +1,152 @@
+#include "matching/min_cost_flow.hpp"
+
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace mcs::matching {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 2;
+
+}  // namespace
+
+MinCostFlow::MinCostFlow(int node_count) {
+  MCS_EXPECTS(node_count >= 0, "node_count must be >= 0");
+  head_.resize(static_cast<std::size_t>(node_count));
+}
+
+int MinCostFlow::add_edge(int from, int to, std::int64_t capacity,
+                          std::int64_t cost) {
+  MCS_EXPECTS(from >= 0 && from < node_count(), "edge source out of range");
+  MCS_EXPECTS(to >= 0 && to < node_count(), "edge target out of range");
+  MCS_EXPECTS(capacity >= 0, "edge capacity must be >= 0");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, capacity, cost});
+  arcs_.push_back(Arc{from, 0, -cost});
+  head_[static_cast<std::size_t>(from)].push_back(id);
+  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  return id / 2;
+}
+
+MinCostFlow::Result MinCostFlow::solve(int source, int sink,
+                                       std::int64_t flow_limit) {
+  MCS_EXPECTS(source >= 0 && source < node_count(), "source out of range");
+  MCS_EXPECTS(sink >= 0 && sink < node_count(), "sink out of range");
+  MCS_EXPECTS(source != sink, "source must differ from sink");
+
+  Result result;
+  const auto n = static_cast<std::size_t>(node_count());
+
+  while (result.flow < flow_limit) {
+    // SPFA shortest path on residual costs (handles negative arc costs).
+    std::vector<std::int64_t> dist(n, kInf);
+    std::vector<int> parent_arc(n, -1);
+    std::vector<char> in_queue(n, 0);
+    std::deque<int> queue;
+    dist[static_cast<std::size_t>(source)] = 0;
+    queue.push_back(source);
+    in_queue[static_cast<std::size_t>(source)] = 1;
+
+    while (!queue.empty()) {
+      const int node = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(node)] = 0;
+      for (const int arc_id : head_[static_cast<std::size_t>(node)]) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(arc_id)];
+        if (arc.capacity <= 0) continue;
+        const std::int64_t candidate =
+            dist[static_cast<std::size_t>(node)] + arc.cost;
+        if (candidate < dist[static_cast<std::size_t>(arc.to)]) {
+          dist[static_cast<std::size_t>(arc.to)] = candidate;
+          parent_arc[static_cast<std::size_t>(arc.to)] = arc_id;
+          if (!in_queue[static_cast<std::size_t>(arc.to)]) {
+            in_queue[static_cast<std::size_t>(arc.to)] = 1;
+            // SLF heuristic: push likely-short labels to the front.
+            if (!queue.empty() &&
+                dist[static_cast<std::size_t>(arc.to)] <
+                    dist[static_cast<std::size_t>(queue.front())]) {
+              queue.push_front(arc.to);
+            } else {
+              queue.push_back(arc.to);
+            }
+          }
+        }
+      }
+    }
+
+    if (dist[static_cast<std::size_t>(sink)] >= kInf) break;  // no augmenting path
+
+    // Bottleneck along the path.
+    std::int64_t push = flow_limit - result.flow;
+    for (int node = sink; node != source;) {
+      const int arc_id = parent_arc[static_cast<std::size_t>(node)];
+      const Arc& arc = arcs_[static_cast<std::size_t>(arc_id)];
+      push = std::min(push, arc.capacity);
+      node = arcs_[static_cast<std::size_t>(arc_id ^ 1)].to;
+    }
+    MCS_ASSERT(push > 0, "augmenting path with zero bottleneck");
+
+    for (int node = sink; node != source;) {
+      const int arc_id = parent_arc[static_cast<std::size_t>(node)];
+      arcs_[static_cast<std::size_t>(arc_id)].capacity -= push;
+      arcs_[static_cast<std::size_t>(arc_id ^ 1)].capacity += push;
+      node = arcs_[static_cast<std::size_t>(arc_id ^ 1)].to;
+    }
+
+    result.flow += push;
+    result.cost += push * dist[static_cast<std::size_t>(sink)];
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(int edge_id) const {
+  const auto forward = static_cast<std::size_t>(edge_id) * 2;
+  MCS_EXPECTS(forward + 1 < arcs_.size(), "edge id out of range");
+  // Flow pushed equals the residual capacity accumulated on the twin arc.
+  return arcs_[forward + 1].capacity;
+}
+
+Matching max_weight_matching_via_flow(const WeightMatrix& graph) {
+  const int nr = graph.rows();
+  const int nc = graph.cols();
+  // Nodes: 0 = source, 1..nr rows, nr+1..nr+nc columns, last = sink.
+  const int source = 0;
+  const int sink = nr + nc + 1;
+  MinCostFlow flow(nr + nc + 2);
+
+  std::vector<std::vector<int>> edge_id(
+      static_cast<std::size_t>(nr), std::vector<int>(static_cast<std::size_t>(nc), -1));
+  for (int r = 0; r < nr; ++r) {
+    flow.add_edge(source, 1 + r, 1, 0);
+    // Bypass: a row may stay unmatched at zero cost, so negative-weight
+    // edges are never forced.
+    flow.add_edge(1 + r, sink, 1, 0);
+    for (int c = 0; c < nc; ++c) {
+      if (const auto w = graph.get(r, c)) {
+        edge_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            flow.add_edge(1 + r, 1 + nr + c, 1, -w->micros());
+      }
+    }
+  }
+  for (int c = 0; c < nc; ++c) flow.add_edge(1 + nr + c, sink, 1, 0);
+
+  const MinCostFlow::Result result = flow.solve(source, sink);
+  MCS_ASSERT(result.flow == nr, "bypass edges guarantee full row flow");
+
+  Matching matching;
+  matching.row_to_col.assign(static_cast<std::size_t>(nr), std::nullopt);
+  matching.total_weight = Money::from_micros(-result.cost);
+  for (int r = 0; r < nr; ++r) {
+    for (int c = 0; c < nc; ++c) {
+      const int id = edge_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      if (id >= 0 && flow.flow_on(id) > 0) {
+        matching.row_to_col[static_cast<std::size_t>(r)] = c;
+      }
+    }
+  }
+  return matching;
+}
+
+}  // namespace mcs::matching

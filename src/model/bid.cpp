@@ -1,0 +1,24 @@
+#include "model/bid.hpp"
+
+namespace mcs::model {
+
+Bid truthful_bid(const TrueProfile& profile) {
+  return Bid{profile.active, profile.cost};
+}
+
+bool is_legal_report(const TrueProfile& profile, const Bid& bid) {
+  return profile.active.contains(bid.window) &&
+         !bid.claimed_cost.is_negative() && bid.claimed_cost < Money::max();
+}
+
+std::ostream& operator<<(std::ostream& os, const TrueProfile& profile) {
+  return os << "TrueProfile{active=" << profile.active
+            << ", cost=" << profile.cost << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const Bid& bid) {
+  return os << "Bid{window=" << bid.window << ", cost=" << bid.claimed_cost
+            << '}';
+}
+
+}  // namespace mcs::model

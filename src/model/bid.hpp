@@ -1,0 +1,47 @@
+// Bids and private smartphone profiles (paper Section III-A/B).
+//
+// A smartphone's *private* information is its true active window [a_i, d_i]
+// and real per-task cost c_i (TrueProfile). What it *submits* is a bid
+// B_i = (a~_i, d~_i, b_i) (Bid). The no-early-arrival / no-late-departure
+// rule constrains reports: a~_i >= a_i and d~_i <= d_i, because a phone
+// cannot serve outside its true availability; the claimed cost b_i is
+// unconstrained. Keeping the two types distinct makes "who knows what"
+// explicit throughout the mechanism and audit code.
+#pragma once
+
+#include <ostream>
+
+#include "common/interval.hpp"
+#include "common/money.hpp"
+#include "common/types.hpp"
+
+namespace mcs::model {
+
+/// Ground truth known only to the smartphone itself.
+struct TrueProfile {
+  SlotInterval active;  ///< true availability [a_i, d_i]
+  Money cost;           ///< real cost c_i of performing one task
+
+  friend bool operator==(const TrueProfile&, const TrueProfile&) = default;
+};
+
+/// What the smartphone submits to the platform.
+struct Bid {
+  SlotInterval window;  ///< reported active time [a~_i, d~_i]
+  Money claimed_cost;   ///< claimed cost b_i
+
+  friend bool operator==(const Bid&, const Bid&) = default;
+};
+
+/// The bid a truthful smartphone submits: exactly its private information.
+[[nodiscard]] Bid truthful_bid(const TrueProfile& profile);
+
+/// True iff `bid` is a *feasible* report for `profile`: the reported window
+/// lies inside the true active time (no early arrival, no late departure)
+/// and the claimed cost is nonnegative and finite.
+[[nodiscard]] bool is_legal_report(const TrueProfile& profile, const Bid& bid);
+
+std::ostream& operator<<(std::ostream& os, const TrueProfile& profile);
+std::ostream& operator<<(std::ostream& os, const Bid& bid);
+
+}  // namespace mcs::model

@@ -1,0 +1,39 @@
+#include "model/paper_examples.hpp"
+
+namespace mcs::model {
+
+Scenario fig4_scenario(std::int64_t task_value_units) {
+  return ScenarioBuilder(5)
+      .value(task_value_units)
+      .phone(2, 5, 3)   // paper's Smartphone 1
+      .phone(1, 4, 5)   // Smartphone 2 (the prose fixes this row exactly)
+      .phone(3, 5, 11)  // Smartphone 3
+      .phone(5, 5, 9)   // Smartphone 4
+      .phone(2, 2, 4)   // Smartphone 5
+      .phone(3, 5, 8)   // Smartphone 6
+      .phone(1, 3, 6)   // Smartphone 7
+      .task(1)
+      .task(2)
+      .task(3)
+      .task(4)
+      .task(5)
+      .build();
+}
+
+Bid fig5_delayed_bid_phone1() {
+  return Bid{SlotInterval::of(4, 5), Money::from_units(3)};
+}
+
+Scenario fig3_scenario() {
+  return ScenarioBuilder(2)
+      .value(10)
+      .phone(1, 2, 4)  // Smartphone 1, present from the first slot
+      .phone(2, 2, 6)  // joins in slot 2
+      .phone(2, 2, 3)  // joins in slot 2
+      .phone(2, 2, 7)  // joins in slot 2
+      .tasks(1, 2)     // tau_{1,1}, tau_{1,2}
+      .tasks(2, 3)     // tau_{2,1}, tau_{2,2}, tau_{2,3}
+      .build();
+}
+
+}  // namespace mcs::model

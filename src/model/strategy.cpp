@@ -1,0 +1,104 @@
+#include "model/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcs::model {
+
+Bid TruthfulStrategy::report(const TrueProfile& profile, Rng& /*rng*/) const {
+  return truthful_bid(profile);
+}
+
+CostMarkupStrategy::CostMarkupStrategy(double factor) : factor_(factor) {
+  MCS_EXPECTS(factor >= 0.0 && std::isfinite(factor),
+              "markup factor must be finite and >= 0");
+}
+
+Bid CostMarkupStrategy::report(const TrueProfile& profile, Rng& /*rng*/) const {
+  return Bid{profile.active,
+             Money::from_double(profile.cost.to_double() * factor_)};
+}
+
+std::string CostMarkupStrategy::name() const {
+  std::ostringstream os;
+  os << "cost-markup(x" << factor_ << ')';
+  return os.str();
+}
+
+DelayedArrivalStrategy::DelayedArrivalStrategy(Slot::rep_type delay)
+    : delay_(delay) {
+  MCS_EXPECTS(delay >= 0, "delay must be >= 0");
+}
+
+Bid DelayedArrivalStrategy::report(const TrueProfile& profile,
+                                   Rng& /*rng*/) const {
+  const Slot::rep_type begin =
+      std::min<Slot::rep_type>(profile.active.begin().value() + delay_,
+                               profile.active.end().value());
+  return Bid{SlotInterval{Slot{begin}, profile.active.end()}, profile.cost};
+}
+
+std::string DelayedArrivalStrategy::name() const {
+  std::ostringstream os;
+  os << "delayed-arrival(+" << delay_ << ')';
+  return os.str();
+}
+
+EarlyDepartureStrategy::EarlyDepartureStrategy(Slot::rep_type advance)
+    : advance_(advance) {
+  MCS_EXPECTS(advance >= 0, "advance must be >= 0");
+}
+
+Bid EarlyDepartureStrategy::report(const TrueProfile& profile,
+                                   Rng& /*rng*/) const {
+  const Slot::rep_type end =
+      std::max<Slot::rep_type>(profile.active.end().value() - advance_,
+                               profile.active.begin().value());
+  return Bid{SlotInterval{profile.active.begin(), Slot{end}}, profile.cost};
+}
+
+std::string EarlyDepartureStrategy::name() const {
+  std::ostringstream os;
+  os << "early-departure(-" << advance_ << ')';
+  return os.str();
+}
+
+Bid RandomMisreportStrategy::report(const TrueProfile& profile,
+                                    Rng& rng) const {
+  const Slot::rep_type a = profile.active.begin().value();
+  const Slot::rep_type d = profile.active.end().value();
+  const auto begin = static_cast<Slot::rep_type>(rng.uniform_int(a, d));
+  const auto end = static_cast<Slot::rep_type>(rng.uniform_int(begin, d));
+  const double factor = rng.uniform_real(0.25, 4.0);
+  return Bid{SlotInterval::of(begin, end),
+             Money::from_double(profile.cost.to_double() * factor)};
+}
+
+BidProfile apply_strategy(const Scenario& scenario,
+                          const ReportStrategy& strategy, Rng& rng) {
+  BidProfile bids;
+  bids.reserve(scenario.phones.size());
+  for (const TrueProfile& profile : scenario.phones) {
+    Bid bid = strategy.report(profile, rng);
+    MCS_ENSURES(is_legal_report(profile, bid),
+                "strategy produced an illegal report: " + strategy.name());
+    bids.push_back(bid);
+  }
+  return bids;
+}
+
+BidProfile apply_single_deviation(const Scenario& scenario, PhoneId deviator,
+                                  const ReportStrategy& strategy, Rng& rng) {
+  BidProfile bids = scenario.truthful_bids();
+  const TrueProfile& profile = scenario.phone(deviator);
+  Bid bid = strategy.report(profile, rng);
+  MCS_ENSURES(is_legal_report(profile, bid),
+              "strategy produced an illegal report: " + strategy.name());
+  bids[static_cast<std::size_t>(deviator.value())] = bid;
+  return bids;
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,97 @@
+// Reporting strategies: how a (possibly strategic) smartphone turns its
+// private profile into a submitted bid.
+//
+// The paper's smartphones are rational and strategic (Section III-B): they
+// may claim a higher/lower cost, delay their reported arrival, or advance
+// their reported departure -- but can never report a window outside the
+// true one. Each strategy here produces a *legal* report by construction;
+// the truthfulness audits and the strategic-user example drive mechanisms
+// with these strategies to measure whether lying ever pays.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/bid.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::model {
+
+/// Interface: map a private profile to a submitted bid. Implementations
+/// must return a legal report (is_legal_report holds).
+class ReportStrategy {
+ public:
+  virtual ~ReportStrategy() = default;
+
+  [[nodiscard]] virtual Bid report(const TrueProfile& profile,
+                                   Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Reports the private information unchanged.
+class TruthfulStrategy final : public ReportStrategy {
+ public:
+  [[nodiscard]] Bid report(const TrueProfile& profile, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "truthful"; }
+};
+
+/// Claims cost = true cost * factor (factor >= 0; > 1 inflates, < 1
+/// undercuts). Window reported truthfully.
+class CostMarkupStrategy final : public ReportStrategy {
+ public:
+  explicit CostMarkupStrategy(double factor);
+
+  [[nodiscard]] Bid report(const TrueProfile& profile, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double factor_;
+};
+
+/// Delays the reported arrival by `delay` slots (clamped so the window
+/// stays nonempty) -- the manipulation of Fig. 5(b).
+class DelayedArrivalStrategy final : public ReportStrategy {
+ public:
+  explicit DelayedArrivalStrategy(Slot::rep_type delay);
+
+  [[nodiscard]] Bid report(const TrueProfile& profile, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Slot::rep_type delay_;
+};
+
+/// Advances the reported departure by `advance` slots (clamped).
+class EarlyDepartureStrategy final : public ReportStrategy {
+ public:
+  explicit EarlyDepartureStrategy(Slot::rep_type advance);
+
+  [[nodiscard]] Bid report(const TrueProfile& profile, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Slot::rep_type advance_;
+};
+
+/// Draws a uniformly random legal misreport: window a random subinterval of
+/// the true one, cost scaled by a random factor in [0.25, 4].
+class RandomMisreportStrategy final : public ReportStrategy {
+ public:
+  [[nodiscard]] Bid report(const TrueProfile& profile, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "random-misreport"; }
+};
+
+/// Applies `strategy` to every phone of the scenario.
+[[nodiscard]] BidProfile apply_strategy(const Scenario& scenario,
+                                        const ReportStrategy& strategy,
+                                        Rng& rng);
+
+/// Truthful bids for everyone except `deviator`, who uses `strategy`.
+[[nodiscard]] BidProfile apply_single_deviation(const Scenario& scenario,
+                                                PhoneId deviator,
+                                                const ReportStrategy& strategy,
+                                                Rng& rng);
+
+}  // namespace mcs::model

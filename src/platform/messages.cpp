@@ -1,0 +1,33 @@
+#include "platform/messages.hpp"
+
+namespace mcs::platform {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskAnnounced:
+      return "task-announced";
+    case EventKind::kBidSubmitted:
+      return "bid-submitted";
+    case EventKind::kTaskAssigned:
+      return "task-assigned";
+    case EventKind::kTaskUnserved:
+      return "task-unserved";
+    case EventKind::kSensingReported:
+      return "sensing-reported";
+    case EventKind::kPaymentIssued:
+      return "payment-issued";
+    case EventKind::kDeparted:
+      return "departed";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const RoundEvent& event) {
+  os << "slot " << event.slot << ": " << to_string(event.kind);
+  if (event.agent.value() >= 0) os << " phone=" << event.agent;
+  if (event.task.value() >= 0) os << " task=" << event.task;
+  if (!event.amount.is_zero()) os << " amount=" << event.amount;
+  return os;
+}
+
+}  // namespace mcs::platform

@@ -1,0 +1,52 @@
+// Protocol vocabulary of the mobile crowdsourcing system (paper Figs. 1-2).
+//
+// The reverse-auction round is a message exchange between the cloud
+// platform and the smartphones: sensing queries become task announcements,
+// phones submit bids on arrival, the platform assigns tasks slot by slot,
+// assigned phones return sensing reports, and payments are issued in each
+// winner's reported departure slot (Section V-C fixes that timing: the
+// critical value depends on bids up to d~_i, so it is computable exactly
+// then and no earlier). RoundEvent is the transcript entry the driver
+// records for every such message.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/money.hpp"
+#include "common/types.hpp"
+#include "model/bid.hpp"
+
+namespace mcs::platform {
+
+/// Identity of a smartphone agent within a round. Matches the PhoneId of
+/// the scenario the round was built from.
+using AgentId = PhoneId;
+
+enum class EventKind {
+  kTaskAnnounced,    ///< platform announces a task arriving this slot
+  kBidSubmitted,     ///< phone joins the market with its bid
+  kTaskAssigned,     ///< platform assigns a task to a phone
+  kTaskUnserved,     ///< no eligible phone; the task expires
+  kSensingReported,  ///< assigned phone returns its sensing data
+  kPaymentIssued,    ///< platform pays a winner (at its reported departure)
+  kDeparted,         ///< phone leaves the market unpaid (it lost)
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+/// One transcript entry. Fields that do not apply to a kind are left at
+/// their defaults (agent = -1, task = -1, amount = 0).
+struct RoundEvent {
+  Slot slot{0};
+  EventKind kind{EventKind::kTaskAnnounced};
+  AgentId agent{-1};
+  TaskId task{-1};
+  Money amount;
+
+  friend bool operator==(const RoundEvent&, const RoundEvent&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const RoundEvent& event);
+
+}  // namespace mcs::platform

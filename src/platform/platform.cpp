@@ -1,0 +1,207 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mcs::platform {
+
+OnlinePlatform::OnlinePlatform(Slot::rep_type num_slots,
+                               Money default_task_value,
+                               auction::OnlineGreedyConfig config)
+    : num_slots_(num_slots),
+      default_task_value_(default_task_value),
+      config_(config) {
+  MCS_EXPECTS(num_slots >= 1, "round must have at least one slot");
+  MCS_EXPECTS(!default_task_value.is_negative(), "task value must be >= 0");
+}
+
+void OnlinePlatform::announce_task(TaskId id, std::optional<Money> value) {
+  MCS_EXPECTS(!finished(), "round is over");
+  MCS_EXPECTS(id.value() == last_task_id_ + 1,
+              "task ids must be dense and increasing");
+  last_task_id_ = id.value();
+  tasks_.push_back(StoredTask{id, Slot{current_slot_},
+                              value.value_or(default_task_value_)});
+}
+
+bool OnlinePlatform::submit_bid(AgentId agent, const model::Bid& bid) {
+  MCS_EXPECTS(!finished(), "round is over");
+  MCS_EXPECTS(bid.window.begin().value() == current_slot_,
+              "phones bid in the slot they join");
+  MCS_EXPECTS(bid.window.end().value() <= num_slots_,
+              "reported departure beyond the round");
+  MCS_EXPECTS(!bid.claimed_cost.is_negative(), "claimed cost must be >= 0");
+  for (const StoredBid& existing : bids_) {
+    MCS_EXPECTS(existing.agent != agent, "agent already submitted a bid");
+  }
+  if (config_.reserve_price && bid.claimed_cost > *config_.reserve_price) {
+    return false;  // rejected at the door
+  }
+  bids_.push_back(StoredBid{agent, bid, false, Slot{0}});
+  return true;
+}
+
+Money OnlinePlatform::scarce_cap_for(Money task_value) const {
+  if (config_.reserve_price) {
+    return config_.allocate_only_profitable
+               ? std::min(*config_.reserve_price, task_value)
+               : *config_.reserve_price;
+  }
+  return task_value;
+}
+
+SlotReport OnlinePlatform::advance_slot() {
+  MCS_EXPECTS(!finished(), "round is over");
+  const Slot::rep_type t = current_slot_;
+  SlotReport report;
+  report.slot = Slot{t};
+
+  // --- Algorithm 1 step: assign this slot's tasks, dearest value first.
+  std::vector<std::size_t> slot_tasks;
+  for (std::size_t k = first_task_of_slot_; k < tasks_.size(); ++k) {
+    slot_tasks.push_back(k);
+  }
+  first_task_of_slot_ = tasks_.size();
+  std::stable_sort(slot_tasks.begin(), slot_tasks.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks_[a].value > tasks_[b].value;
+                   });
+
+  // Active unallocated bids, cheapest (then lowest agent id) first.
+  std::vector<StoredBid*> pool;
+  for (StoredBid& stored : bids_) {
+    if (!stored.allocated && stored.bid.window.contains(Slot{t})) {
+      pool.push_back(&stored);
+    }
+  }
+  std::sort(pool.begin(), pool.end(), [](const StoredBid* a, const StoredBid* b) {
+    if (a->bid.claimed_cost != b->bid.claimed_cost) {
+      return a->bid.claimed_cost < b->bid.claimed_cost;
+    }
+    return a->agent < b->agent;
+  });
+
+  std::size_t next = 0;
+  for (const std::size_t k : slot_tasks) {
+    const StoredTask& task = tasks_[k];
+    if (next >= pool.size()) {
+      report.unserved_tasks.push_back(task.id);
+      continue;
+    }
+    StoredBid* cheapest = pool[next];
+    if (config_.allocate_only_profitable &&
+        cheapest->bid.claimed_cost > task.value) {
+      report.unserved_tasks.push_back(task.id);
+      continue;  // the phone stays available for later tasks
+    }
+    cheapest->allocated = true;
+    cheapest->win_slot = Slot{t};
+    report.assignments.emplace_back(task.id, cheapest->agent);
+    ++next;
+  }
+
+  // --- Departures: settle everyone whose reported departure is this slot.
+  for (const StoredBid& stored : bids_) {
+    if (stored.bid.window.end().value() != t) continue;
+    if (stored.allocated) {
+      const Money payment = payment_for(stored);
+      total_paid_ += payment;
+      report.payments.emplace_back(stored.agent, payment);
+    } else {
+      report.unpaid_departures.push_back(stored.agent);
+    }
+  }
+
+  ++current_slot_;
+  return report;
+}
+
+std::vector<OnlinePlatform::ReplaySlot> OnlinePlatform::replay_without(
+    AgentId excluded, Slot::rep_type last_slot) const {
+  std::vector<ReplaySlot> result(static_cast<std::size_t>(last_slot) + 1);
+
+  // Fresh bookkeeping over the stored history (never touches the live
+  // allocation flags).
+  std::vector<char> taken(bids_.size(), 0);
+  std::size_t task_cursor = 0;
+
+  for (Slot::rep_type t = 1; t <= last_slot; ++t) {
+    std::vector<std::size_t> slot_tasks;
+    while (task_cursor < tasks_.size() &&
+           tasks_[task_cursor].slot.value() == t) {
+      slot_tasks.push_back(task_cursor);
+      ++task_cursor;
+    }
+    // Skip tasks of earlier slots (possible when history starts mid-round).
+    std::stable_sort(slot_tasks.begin(), slot_tasks.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tasks_[a].value > tasks_[b].value;
+                     });
+
+    std::vector<std::size_t> pool;
+    for (std::size_t b = 0; b < bids_.size(); ++b) {
+      if (taken[b]) continue;
+      const StoredBid& stored = bids_[b];
+      if (stored.agent == excluded) continue;
+      if (stored.bid.window.contains(Slot{t})) pool.push_back(b);
+    }
+    std::sort(pool.begin(), pool.end(), [&](std::size_t a, std::size_t b) {
+      if (bids_[a].bid.claimed_cost != bids_[b].bid.claimed_cost) {
+        return bids_[a].bid.claimed_cost < bids_[b].bid.claimed_cost;
+      }
+      return bids_[a].agent < bids_[b].agent;
+    });
+
+    ReplaySlot& replay = result[static_cast<std::size_t>(t)];
+    std::size_t next = 0;
+    for (const std::size_t k : slot_tasks) {
+      const StoredTask& task = tasks_[k];
+      if (next >= pool.size()) {
+        const Money cap = scarce_cap_for(task.value);
+        replay.scarce_cap =
+            std::max(replay.scarce_cap.value_or(Money{}), cap);
+        continue;
+      }
+      const StoredBid& cheapest = bids_[pool[next]];
+      if (config_.allocate_only_profitable &&
+          cheapest.bid.claimed_cost > task.value) {
+        const Money cap = scarce_cap_for(task.value);
+        replay.scarce_cap =
+            std::max(replay.scarce_cap.value_or(Money{}), cap);
+        continue;
+      }
+      taken[pool[next]] = 1;
+      replay.dearest_winner = std::max(
+          replay.dearest_winner.value_or(Money{}), cheapest.bid.claimed_cost);
+      ++next;
+    }
+  }
+  return result;
+}
+
+Money OnlinePlatform::payment_for(const StoredBid& winner) const {
+  const Slot::rep_type depart = winner.bid.window.end().value();
+  const std::vector<ReplaySlot> replay = replay_without(winner.agent, depart);
+
+  Money payment = winner.bid.claimed_cost;
+  bool scarce = false;
+  Money scarce_cap;
+  for (Slot::rep_type t = winner.win_slot.value(); t <= depart; ++t) {
+    const ReplaySlot& slot = replay[static_cast<std::size_t>(t)];
+    if (slot.dearest_winner) {
+      payment = std::max(payment, *slot.dearest_winner);
+    }
+    if (slot.scarce_cap) {
+      scarce = true;
+      scarce_cap = std::max(scarce_cap, *slot.scarce_cap);
+    }
+  }
+  if (scarce && config_.scarce_payment ==
+                    auction::OnlineGreedyConfig::ScarcePayment::kCapAtValue) {
+    payment = std::max(payment, scarce_cap);
+  }
+  return payment;
+}
+
+}  // namespace mcs::platform

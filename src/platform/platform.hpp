@@ -1,0 +1,108 @@
+// The cloud platform, as a slot-by-slot state machine.
+//
+// auction::OnlineGreedyMechanism is the *specification*: it consumes a
+// whole Scenario at once. A deployed platform cannot -- it learns about
+// tasks and bids as they arrive and must assign, collect, and pay
+// incrementally. OnlinePlatform is that deployable artifact: push tasks
+// and bids into the current slot, call advance_slot(), and read back the
+// assignments made and the payments issued (each winner is paid in its
+// reported departure slot, the earliest moment its Algorithm-2 critical
+// value is determined).
+//
+// The implementation is deliberately independent of the batch mechanism
+// (its own pool bookkeeping, its own counterfactual replay), so the test
+// suite's equivalence check -- identical allocation and payments on
+// randomized rounds -- cross-validates both.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/online_greedy.hpp"
+#include "common/money.hpp"
+#include "common/types.hpp"
+#include "model/bid.hpp"
+#include "platform/messages.hpp"
+
+namespace mcs::platform {
+
+/// Everything that happened while processing one slot.
+struct SlotReport {
+  Slot slot{0};
+  std::vector<std::pair<TaskId, AgentId>> assignments;
+  std::vector<TaskId> unserved_tasks;
+  /// Winners whose reported departure is this slot, with their payment.
+  std::vector<std::pair<AgentId, Money>> payments;
+  /// Losers whose reported departure is this slot (they get nothing).
+  std::vector<AgentId> unpaid_departures;
+};
+
+class OnlinePlatform {
+ public:
+  /// A round of `num_slots`; `default_task_value` is nu for tasks announced
+  /// without an override. The config carries the same knobs as the batch
+  /// mechanism (profitability guard, reserve price, scarcity policy).
+  OnlinePlatform(Slot::rep_type num_slots, Money default_task_value,
+                 auction::OnlineGreedyConfig config = {});
+
+  [[nodiscard]] Slot current_slot() const { return Slot{current_slot_}; }
+  [[nodiscard]] bool finished() const { return current_slot_ > num_slots_; }
+
+  /// Announces a task arriving in the *current* slot. Ids must be dense and
+  /// increasing across the round (the scenario convention).
+  void announce_task(TaskId id, std::optional<Money> value = std::nullopt);
+
+  /// A phone joins the market in the current slot (its reported arrival
+  /// must be the current slot -- phones bid when they join). Returns false
+  /// when the bid is rejected at the door by the platform reserve.
+  bool submit_bid(AgentId agent, const model::Bid& bid);
+
+  /// Processes the current slot: runs the Algorithm-1 step, issues
+  /// Algorithm-2 payments to winners departing this slot, then moves to
+  /// the next slot.
+  SlotReport advance_slot();
+
+  /// Total money paid out so far.
+  [[nodiscard]] Money total_paid() const { return total_paid_; }
+
+ private:
+  struct StoredBid {
+    AgentId agent{-1};
+    model::Bid bid{SlotInterval::of(1, 1), Money{}};
+    bool allocated{false};
+    Slot win_slot{0};
+  };
+
+  struct StoredTask {
+    TaskId id{-1};
+    Slot slot{0};
+    Money value;
+  };
+
+  /// Replays the greedy allocation over the stored history up to
+  /// `last_slot`, pretending `excluded` never bid. Returns, per slot,
+  /// the highest winning claimed cost (or nullopt for no winners) and the
+  /// scarcity cap contribution of unserved tasks.
+  struct ReplaySlot {
+    std::optional<Money> dearest_winner;
+    std::optional<Money> scarce_cap;
+  };
+  [[nodiscard]] std::vector<ReplaySlot> replay_without(
+      AgentId excluded, Slot::rep_type last_slot) const;
+
+  [[nodiscard]] Money payment_for(const StoredBid& winner) const;
+  [[nodiscard]] Money scarce_cap_for(Money task_value) const;
+
+  Slot::rep_type num_slots_;
+  Slot::rep_type current_slot_{1};
+  Money default_task_value_;
+  auction::OnlineGreedyConfig config_;
+
+  std::vector<StoredBid> bids_;     // every admitted bid, by submission order
+  std::vector<StoredTask> tasks_;   // every announced task
+  std::size_t first_task_of_slot_{0};  // tasks_ index where this slot begins
+  Money total_paid_;
+  int last_task_id_{-1};
+};
+
+}  // namespace mcs::platform

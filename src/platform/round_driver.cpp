@@ -1,0 +1,81 @@
+#include "platform/round_driver.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcs::platform {
+
+std::vector<RoundEvent> RoundResult::events_of(EventKind kind) const {
+  std::vector<RoundEvent> filtered;
+  for (const RoundEvent& event : transcript) {
+    if (event.kind == kind) filtered.push_back(event);
+  }
+  return filtered;
+}
+
+RoundResult run_round(const model::Scenario& scenario,
+                      const model::BidProfile& bids,
+                      auction::OnlineGreedyConfig config) {
+  scenario.validate();
+  model::validate_bids(scenario, bids);
+
+  OnlinePlatform platform(scenario.num_slots, scenario.task_value, config);
+
+  RoundResult result;
+  result.outcome.allocation =
+      auction::Allocation(scenario.task_count(), scenario.phone_count());
+  result.outcome.payments.assign(scenario.phones.size(), Money{});
+
+  std::size_t task_cursor = 0;
+  for (Slot::rep_type t = 1; t <= scenario.num_slots; ++t) {
+    // Sensing queries that arrived this slot become task announcements.
+    while (task_cursor < scenario.tasks.size() &&
+           scenario.tasks[task_cursor].slot.value() == t) {
+      const model::Task& task = scenario.tasks[task_cursor];
+      platform.announce_task(task.id, task.value);
+      result.transcript.push_back(
+          RoundEvent{Slot{t}, EventKind::kTaskAnnounced, AgentId{-1}, task.id,
+                     scenario.value_of(task.id)});
+      ++task_cursor;
+    }
+    // Phones whose reported arrival is this slot join and bid.
+    for (int i = 0; i < scenario.phone_count(); ++i) {
+      const model::Bid& bid = bids[static_cast<std::size_t>(i)];
+      if (bid.window.begin().value() != t) continue;
+      if (platform.submit_bid(AgentId{i}, bid)) {
+        result.transcript.push_back(RoundEvent{
+            Slot{t}, EventKind::kBidSubmitted, AgentId{i}, TaskId{-1},
+            bid.claimed_cost});
+      }
+    }
+
+    const SlotReport report = platform.advance_slot();
+    for (const auto& [task, agent] : report.assignments) {
+      result.outcome.allocation.assign(task, agent);
+      result.transcript.push_back(
+          RoundEvent{Slot{t}, EventKind::kTaskAssigned, agent, task, Money{}});
+      // The task takes the slot; the report comes back before slot end.
+      result.transcript.push_back(RoundEvent{
+          Slot{t}, EventKind::kSensingReported, agent, task, Money{}});
+    }
+    for (const TaskId task : report.unserved_tasks) {
+      result.transcript.push_back(
+          RoundEvent{Slot{t}, EventKind::kTaskUnserved, AgentId{-1}, task,
+                     Money{}});
+    }
+    for (const auto& [agent, payment] : report.payments) {
+      result.outcome.payments[static_cast<std::size_t>(agent.value())] =
+          payment;
+      result.transcript.push_back(RoundEvent{
+          Slot{t}, EventKind::kPaymentIssued, agent, TaskId{-1}, payment});
+    }
+    for (const AgentId agent : report.unpaid_departures) {
+      result.transcript.push_back(RoundEvent{
+          Slot{t}, EventKind::kDeparted, agent, TaskId{-1}, Money{}});
+    }
+  }
+  MCS_ENSURES(platform.finished(), "driver must consume the whole round");
+  result.outcome.validate(scenario, bids);
+  return result;
+}
+
+}  // namespace mcs::platform

@@ -1,0 +1,37 @@
+// Drives one full auction round through the OnlinePlatform, producing a
+// transcript of every protocol message plus a batch-comparable Outcome.
+//
+// The driver is the bridge between the declarative world (a Scenario plus
+// a BidProfile) and the message-passing platform: it announces each task
+// in its arrival slot, submits each phone's bid in the phone's *reported*
+// arrival slot, advances the platform slot by slot, and assembles the
+// resulting assignments and departure-time payments into an
+// auction::Outcome -- which the tests require to be byte-identical to the
+// batch OnlineGreedyMechanism on the same inputs.
+#pragma once
+
+#include <vector>
+
+#include "auction/outcome.hpp"
+#include "model/scenario.hpp"
+#include "platform/platform.hpp"
+
+namespace mcs::platform {
+
+struct RoundResult {
+  auction::Outcome outcome;
+  std::vector<RoundEvent> transcript;
+
+  /// Transcript entries of one kind (testing/inspection helper).
+  [[nodiscard]] std::vector<RoundEvent> events_of(EventKind kind) const;
+};
+
+/// Runs the round. Bids rejected by the platform reserve produce no
+/// kBidSubmitted event; every served task yields kTaskAssigned followed by
+/// kSensingReported in the same slot; every winner's kPaymentIssued lands
+/// in its reported departure slot.
+[[nodiscard]] RoundResult run_round(const model::Scenario& scenario,
+                                    const model::BidProfile& bids,
+                                    auction::OnlineGreedyConfig config = {});
+
+}  // namespace mcs::platform

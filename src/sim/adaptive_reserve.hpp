@@ -1,0 +1,74 @@
+// Adaptive reserve pricing across rounds: a no-regret learner on top of
+// the truthful online mechanism.
+//
+// The budget-planner example picks one reserve offline; a deployed
+// platform can instead *learn* it. Each round the planner maintains a
+// weight per candidate reserve (the "arms"), plays the weighted-majority
+// pick, observes the round, and -- because this is a simulator -- scores
+// every arm counterfactually on the same realized round (full-information
+// feedback), updating weights multiplicatively (Hedge). Classic online
+// learning then guarantees the played sequence's average objective
+// approaches the best fixed reserve in hindsight; the tests and
+// `bench/adaptive_reserve` check exactly that.
+//
+// Crucially, the underlying per-round mechanism stays exactly truthful at
+// *every* reserve (DESIGN.md §5): learning tunes the platform's knob, not
+// the phones' incentives. (In a real deployment counterfactual scoring is
+// unavailable; swapping Hedge for a bandit rule like EXP3 changes only the
+// update, not this interface.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/stats.hpp"
+#include "model/workload.hpp"
+
+namespace mcs::sim {
+
+struct AdaptiveReserveConfig {
+  model::WorkloadConfig workload;     ///< per-round market
+  std::vector<Money> reserve_grid;    ///< candidate reserves (the arms)
+  int rounds = 60;
+  double learning_rate = 0.15;        ///< Hedge step size
+  std::uint64_t seed = 42;
+
+  /// What the planner maximizes each round.
+  enum class Objective {
+    kPlatformUtility,  ///< allocated value minus payments (default)
+    kSocialWelfare,
+  };
+  Objective objective = Objective::kPlatformUtility;
+
+  void validate() const;
+};
+
+struct AdaptiveRoundRecord {
+  int round{0};
+  std::size_t played_arm{0};  ///< index into reserve_grid
+  double played_objective{0.0};
+  double best_arm_objective{0.0};  ///< this round's best arm (hindsight)
+};
+
+struct AdaptiveReserveResult {
+  std::vector<AdaptiveRoundRecord> rounds;
+  std::vector<double> final_weights;     ///< normalized, per arm
+  std::vector<double> cumulative_by_arm; ///< total objective per fixed arm
+  double cumulative_played{0.0};
+
+  /// Index of the best fixed arm in hindsight.
+  [[nodiscard]] std::size_t best_fixed_arm() const;
+
+  /// Total regret of the played sequence vs the best fixed arm.
+  [[nodiscard]] double total_regret() const;
+
+  /// Regret averaged per round (should shrink as rounds grow).
+  [[nodiscard]] double average_regret(int rounds_count) const;
+};
+
+/// Runs the learner; deterministic in the config.
+[[nodiscard]] AdaptiveReserveResult run_adaptive_reserve(
+    const AdaptiveReserveConfig& config);
+
+}  // namespace mcs::sim

@@ -1,0 +1,116 @@
+#include "sim/experiments.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+ConfigMutator slots_mutator() {
+  return [](model::WorkloadConfig& w, double x) {
+    w.num_slots = static_cast<Slot::rep_type>(std::llround(x));
+  };
+}
+
+ConfigMutator arrival_mutator() {
+  return [](model::WorkloadConfig& w, double x) { w.phone_arrival_rate = x; };
+}
+
+ConfigMutator cost_mutator() {
+  // Sweeping c-bar; the task value nu stays at the Table-I default so the
+  // welfare trend reflects costs alone (DESIGN.md substitution notes).
+  return [](model::WorkloadConfig& w, double x) { w.mean_cost = x; };
+}
+
+std::vector<FigureSpec> make_figures() {
+  std::vector<FigureSpec> figures;
+  figures.push_back(FigureSpec{
+      "fig6", "Social welfare vs number of slots m", "m",
+      {30, 40, 50, 60, 70, 80}, FigureMetric::kSocialWelfare,
+      slots_mutator()});
+  figures.push_back(FigureSpec{
+      "fig7", "Social welfare vs arrival rate lambda of smartphones",
+      "lambda", {4, 5, 6, 7, 8}, FigureMetric::kSocialWelfare,
+      arrival_mutator()});
+  figures.push_back(FigureSpec{
+      "fig8", "Social welfare vs average of real costs", "c-bar",
+      {10, 20, 30, 40, 50}, FigureMetric::kSocialWelfare, cost_mutator()});
+  figures.push_back(FigureSpec{
+      "fig9", "Overpayment ratio vs number of slots m", "m",
+      {30, 40, 50, 60, 70, 80}, FigureMetric::kOverpaymentRatio,
+      slots_mutator()});
+  figures.push_back(FigureSpec{
+      "fig10", "Overpayment ratio vs arrival rate lambda of smartphones",
+      "lambda", {4, 5, 6, 7, 8}, FigureMetric::kOverpaymentRatio,
+      arrival_mutator()});
+  figures.push_back(FigureSpec{
+      "fig11", "Overpayment ratio vs average of real costs", "c-bar",
+      {10, 20, 30, 40, 50}, FigureMetric::kOverpaymentRatio, cost_mutator()});
+  return figures;
+}
+
+}  // namespace
+
+const std::vector<FigureSpec>& all_figures() {
+  static const std::vector<FigureSpec> figures = make_figures();
+  return figures;
+}
+
+const FigureSpec& figure(const std::string& id) {
+  for (const FigureSpec& spec : all_figures()) {
+    if (spec.id == id) return spec;
+  }
+  throw InvalidArgumentError("unknown figure id: " + id);
+}
+
+io::TextTable FigureSeries::to_table() const {
+  io::TextTable table(header);
+  for (const auto& row : rows) table.add_row(row);
+  return table;
+}
+
+std::string FigureSeries::to_chart() const {
+  const io::AsciiChart chart;
+  return chart.to_string(
+      xs, {io::ChartSeries{"online", online_means, 'o'},
+           io::ChartSeries{"offline", offline_means, 'x'}});
+}
+
+FigureSeries run_figure(const FigureSpec& spec, const SimulationConfig& base) {
+  const StandardMechanisms mechanisms;
+  const std::vector<SweepPoint> points =
+      run_sweep(base, spec.xs, spec.mutate, mechanisms.pointers());
+
+  const bool welfare = spec.metric == FigureMetric::kSocialWelfare;
+  const std::string metric_name =
+      welfare ? "welfare" : "overpayment_ratio";
+  const int precision = welfare ? 1 : 4;
+
+  FigureSeries series;
+  series.id = spec.id;
+  series.title = spec.title;
+  series.header = {spec.x_label, "online_" + metric_name,
+                   "offline_" + metric_name, "online_ci95", "offline_ci95"};
+  for (const SweepPoint& point : points) {
+    const MechanismAggregate& online = point.result.mechanisms.at(0);
+    const MechanismAggregate& offline = point.result.mechanisms.at(1);
+    const RunningStats& on = welfare ? online.social_welfare
+                                     : online.overpayment_ratio;
+    const RunningStats& off = welfare ? offline.social_welfare
+                                      : offline.overpayment_ratio;
+    series.rows.push_back({io::format_double(point.x, spec.x_label == "lambda" ? 1 : 0),
+                           io::format_double(on.mean(), precision),
+                           io::format_double(off.mean(), precision),
+                           io::format_double(on.ci95_half_width(), precision),
+                           io::format_double(off.ci95_half_width(), precision)});
+    series.xs.push_back(point.x);
+    series.online_means.push_back(on.mean());
+    series.offline_means.push_back(off.mean());
+  }
+  return series;
+}
+
+}  // namespace mcs::sim

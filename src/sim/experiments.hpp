@@ -1,0 +1,62 @@
+// The figure registry: every evaluation plot of the paper as a runnable
+// experiment.
+//
+// Figures 6-8 plot social welfare, Figures 9-11 the overpayment ratio, each
+// against one swept parameter (number of slots m, smartphone arrival rate
+// lambda, average real cost c-bar) with everything else at the Table-I
+// defaults. run_figure executes the sweep and renders the series both as a
+// TextTable (what the bench binaries print) and as CSV rows (what --csv
+// dumps); EXPERIMENTS.md records the expected qualitative shape per figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/ascii_chart.hpp"
+#include "io/table.hpp"
+#include "sim/sweep.hpp"
+
+namespace mcs::sim {
+
+enum class FigureMetric { kSocialWelfare, kOverpaymentRatio };
+
+struct FigureSpec {
+  std::string id;        ///< "fig6" .. "fig11"
+  std::string title;     ///< e.g. "Social welfare vs number of slots m"
+  std::string x_label;   ///< e.g. "m"
+  std::vector<double> xs;
+  FigureMetric metric{FigureMetric::kSocialWelfare};
+  ConfigMutator mutate;
+};
+
+/// The specs for Figures 6-11 in paper order.
+[[nodiscard]] const std::vector<FigureSpec>& all_figures();
+
+/// Spec by id; throws InvalidArgumentError for unknown ids.
+[[nodiscard]] const FigureSpec& figure(const std::string& id);
+
+/// One reproduced figure: the series for the online and offline mechanisms
+/// with 95% confidence half-widths.
+struct FigureSeries {
+  std::string id;
+  std::string title;
+  std::vector<std::string> header;          ///< x, online, offline, ci columns
+  std::vector<std::vector<std::string>> rows;
+
+  /// Numeric copies of the series (for charts and programmatic checks).
+  std::vector<double> xs;
+  std::vector<double> online_means;
+  std::vector<double> offline_means;
+
+  [[nodiscard]] io::TextTable to_table() const;
+
+  /// Terminal plot of both series (io::AsciiChart).
+  [[nodiscard]] std::string to_chart() const;
+};
+
+/// Runs the sweep for a figure spec with the given simulation settings
+/// (the spec's mutator overrides the swept field per point).
+[[nodiscard]] FigureSeries run_figure(const FigureSpec& spec,
+                                      const SimulationConfig& base);
+
+}  // namespace mcs::sim

@@ -1,0 +1,26 @@
+// Self-contained HTML report of the reproduced evaluation figures.
+//
+// One file, zero dependencies: each figure is rendered as an inline SVG
+// line chart with its data table underneath, plus the run parameters, so
+// results can be shared or archived as a single artifact. `mcs_cli report`
+// is the command-line entry point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiments.hpp"
+
+namespace mcs::sim {
+
+/// Renders the report document for already-computed figure series.
+/// `subtitle` typically records the run parameters (reps, seed).
+[[nodiscard]] std::string figures_html_report(
+    const std::vector<FigureSeries>& figures, const std::string& subtitle);
+
+/// Runs every registered figure with `base` and writes the report to
+/// `path` (throws IoError on filesystem problems). Returns the number of
+/// figures rendered.
+int write_html_report(const std::string& path, const SimulationConfig& base);
+
+}  // namespace mcs::sim

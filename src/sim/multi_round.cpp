@@ -1,0 +1,115 @@
+#include "sim/multi_round.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::sim {
+
+void MultiRoundConfig::validate() const {
+  workload.validate();
+  if (rounds < 1) throw InvalidArgumentError("rounds must be >= 1");
+  if (retention < 0.0 || retention > 1.0 || !std::isfinite(retention)) {
+    throw InvalidArgumentError("retention must be in [0, 1]");
+  }
+}
+
+namespace {
+
+/// Draws a fresh active window for a community member: arrival uniform in
+/// the round, length from the workload's distribution, truncated at m.
+SlotInterval draw_window(const model::WorkloadConfig& workload, Rng& rng) {
+  const auto arrival = static_cast<Slot::rep_type>(
+      rng.uniform_int(1, workload.num_slots));
+  const auto max_length = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(2.0 * workload.mean_active_length)) - 1);
+  const auto length =
+      static_cast<Slot::rep_type>(rng.uniform_int(1, max_length));
+  const Slot::rep_type depart =
+      std::min<Slot::rep_type>(arrival + length - 1, workload.num_slots);
+  return SlotInterval::of(arrival, depart);
+}
+
+}  // namespace
+
+MultiRoundResult run_multi_round(const MultiRoundConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+
+  // Community members carry a stable private cost between rounds. Costs
+  // are drawn with the same distribution the single-round generator uses
+  // (uniform with the configured mean; see model/workload.cpp) -- for
+  // simplicity the multi-round driver supports the uniform family only.
+  MCS_EXPECTS(config.workload.cost_distribution ==
+                  model::CostDistribution::kUniform,
+              "multi-round driver supports the uniform cost family");
+  const auto cost_hi = std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(std::llround(2.0 * config.workload.mean_cost)) -
+          1);
+
+  std::vector<Money> community_costs;
+  const PoissonSampler newcomer_arrivals(config.workload.phone_arrival_rate *
+                                         config.workload.num_slots);
+  const PoissonSampler task_arrivals(config.workload.task_arrival_rate);
+
+  const auction::OnlineGreedyMechanism online;
+  const auction::OfflineVcgMechanism offline;
+
+  MultiRoundResult result;
+  result.rounds.reserve(static_cast<std::size_t>(config.rounds));
+
+  for (int round = 1; round <= config.rounds; ++round) {
+    // Churn, then admit this round's newcomers to the community.
+    std::erase_if(community_costs,
+                  [&](Money) { return !rng.bernoulli(config.retention); });
+    const std::int64_t newcomers = newcomer_arrivals.sample(rng);
+    for (std::int64_t k = 0; k < newcomers; ++k) {
+      community_costs.push_back(
+          Money::from_units(rng.uniform_int(1, cost_hi)));
+    }
+
+    // Build this round's scenario: every member participates with a fresh
+    // window; tasks arrive Poisson per slot as in the single-round model.
+    model::Scenario scenario;
+    scenario.num_slots = config.workload.num_slots;
+    scenario.task_value = config.workload.task_value;
+    for (const Money cost : community_costs) {
+      scenario.phones.push_back(
+          model::TrueProfile{draw_window(config.workload, rng), cost});
+    }
+    for (Slot::rep_type t = 1; t <= config.workload.num_slots; ++t) {
+      const std::int64_t tasks = task_arrivals.sample(rng);
+      for (std::int64_t k = 0; k < tasks; ++k) {
+        scenario.tasks.push_back(model::Task{
+            TaskId{static_cast<int>(scenario.tasks.size())}, Slot{t}, {}});
+      }
+    }
+    scenario.validate();
+    const model::BidProfile bids = scenario.truthful_bids();
+
+    RoundRecord record;
+    record.round = round;
+    record.community_size = scenario.phone_count();
+    record.tasks = scenario.task_count();
+    record.online =
+        analysis::compute_metrics(scenario, bids, online.run(scenario, bids));
+    record.offline =
+        analysis::compute_metrics(scenario, bids, offline.run(scenario, bids));
+
+    result.online_sigma.add(record.online.overpayment_ratio);
+    result.offline_sigma.add(record.offline.overpayment_ratio);
+    result.online_welfare.add(record.online.social_welfare.to_double());
+    result.offline_welfare.add(record.offline.social_welfare.to_double());
+    result.community_size.add(static_cast<double>(record.community_size));
+    result.rounds.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace mcs::sim

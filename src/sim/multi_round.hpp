@@ -1,0 +1,53 @@
+// Multi-round market simulation with a persistent phone community.
+//
+// The paper's auction "is executed round by round" (Section III-B) and its
+// Fig. 9 discussion claims the market "is stable even in the long run";
+// the single-round simulator cannot speak to that, because it redraws the
+// whole population each repetition. This driver keeps a *community*:
+// phones join (Poisson over the round), keep their private cost across
+// rounds, participate in every round they remain for (with a freshly drawn
+// active window -- a commuter's availability changes daily, its cost
+// structure does not), and churn out with a configurable retention
+// probability. Both mechanisms run on the same community each round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "common/stats.hpp"
+#include "model/workload.hpp"
+
+namespace mcs::sim {
+
+struct MultiRoundConfig {
+  model::WorkloadConfig workload;   ///< per-round arrivals & shapes
+  int rounds = 30;
+  /// Probability that a community member stays for the next round.
+  double retention = 0.5;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+struct RoundRecord {
+  int round{0};
+  int community_size{0};  ///< phones participating this round
+  int tasks{0};
+  analysis::RoundMetrics online;
+  analysis::RoundMetrics offline;
+};
+
+struct MultiRoundResult {
+  std::vector<RoundRecord> rounds;
+  RunningStats online_sigma;
+  RunningStats offline_sigma;
+  RunningStats online_welfare;
+  RunningStats offline_welfare;
+  RunningStats community_size;
+};
+
+/// Runs the chained simulation; deterministic in the config.
+[[nodiscard]] MultiRoundResult run_multi_round(const MultiRoundConfig& config);
+
+}  // namespace mcs::sim

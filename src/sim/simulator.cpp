@@ -1,0 +1,146 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::sim {
+
+const MechanismAggregate& SimulationResult::by_name(
+    const std::string& name) const {
+  for (const MechanismAggregate& aggregate : mechanisms) {
+    if (aggregate.name == name) return aggregate;
+  }
+  throw InvalidArgumentError("no aggregate for mechanism: " + name);
+}
+
+namespace {
+
+void check_inputs(const SimulationConfig& config,
+                  const std::vector<const auction::Mechanism*>& mechanisms) {
+  MCS_EXPECTS(config.repetitions >= 1, "repetitions must be >= 1");
+  MCS_EXPECTS(!mechanisms.empty(), "at least one mechanism required");
+  config.workload.validate();
+  for (const auction::Mechanism* mechanism : mechanisms) {
+    MCS_EXPECTS(mechanism != nullptr, "null mechanism");
+  }
+}
+
+SimulationResult make_result_shell(
+    const std::vector<const auction::Mechanism*>& mechanisms) {
+  SimulationResult result;
+  result.mechanisms.reserve(mechanisms.size());
+  for (const auction::Mechanism* mechanism : mechanisms) {
+    MechanismAggregate aggregate;
+    aggregate.name = mechanism->name();
+    result.mechanisms.push_back(std::move(aggregate));
+  }
+  return result;
+}
+
+/// One repetition: generate the round from the deterministic per-rep
+/// stream, run every mechanism, accumulate into `result`.
+void run_repetition(const SimulationConfig& config,
+                    const std::vector<const auction::Mechanism*>& mechanisms,
+                    const Rng& parent, int rep, SimulationResult& result) {
+  Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+  const model::Scenario scenario =
+      model::generate_scenario(config.workload, rng);
+  const model::BidProfile bids = scenario.truthful_bids();
+  result.phones_per_round.add(static_cast<double>(scenario.phone_count()));
+  result.tasks_per_round.add(static_cast<double>(scenario.task_count()));
+
+  for (std::size_t k = 0; k < mechanisms.size(); ++k) {
+    const auction::Outcome outcome = mechanisms[k]->run(scenario, bids);
+    const analysis::RoundMetrics metrics =
+        analysis::compute_metrics(scenario, bids, outcome);
+    MechanismAggregate& aggregate = result.mechanisms[k];
+    aggregate.social_welfare.add(metrics.social_welfare.to_double());
+    aggregate.overpayment_ratio.add(metrics.overpayment_ratio);
+    aggregate.total_payment.add(metrics.total_payment.to_double());
+    aggregate.completion_rate.add(metrics.completion_rate);
+    aggregate.platform_utility.add(metrics.platform_utility.to_double());
+  }
+}
+
+void merge_into(SimulationResult& into, const SimulationResult& from) {
+  MCS_ASSERT(into.mechanisms.size() == from.mechanisms.size(),
+             "merge shape mismatch");
+  for (std::size_t k = 0; k < into.mechanisms.size(); ++k) {
+    MechanismAggregate& a = into.mechanisms[k];
+    const MechanismAggregate& b = from.mechanisms[k];
+    a.social_welfare.merge(b.social_welfare);
+    a.overpayment_ratio.merge(b.overpayment_ratio);
+    a.total_payment.merge(b.total_payment);
+    a.completion_rate.merge(b.completion_rate);
+    a.platform_utility.merge(b.platform_utility);
+  }
+  into.phones_per_round.merge(from.phones_per_round);
+  into.tasks_per_round.merge(from.tasks_per_round);
+}
+
+}  // namespace
+
+SimulationResult simulate(
+    const SimulationConfig& config,
+    const std::vector<const auction::Mechanism*>& mechanisms) {
+  check_inputs(config, mechanisms);
+  SimulationResult result = make_result_shell(mechanisms);
+  const Rng parent(config.base_seed);
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    run_repetition(config, mechanisms, parent, rep, result);
+    MCS_LOG_DEBUG("simulate: repetition " << rep << " done");
+  }
+  return result;
+}
+
+SimulationResult simulate_parallel(
+    const SimulationConfig& config,
+    const std::vector<const auction::Mechanism*>& mechanisms, int threads) {
+  check_inputs(config, mechanisms);
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, config.repetitions);
+  if (threads == 1) return simulate(config, mechanisms);
+
+  const Rng parent(config.base_seed);
+  std::vector<SimulationResult> partials(
+      static_cast<std::size_t>(threads));
+  for (auto& partial : partials) partial = make_result_shell(mechanisms);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int rep = w; rep < config.repetitions; rep += threads) {
+        run_repetition(config, mechanisms, parent, rep,
+                       partials[static_cast<std::size_t>(w)]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  SimulationResult result = std::move(partials.front());
+  for (std::size_t w = 1; w < partials.size(); ++w) {
+    merge_into(result, partials[w]);
+  }
+  return result;
+}
+
+StandardMechanisms::StandardMechanisms()
+    : online(std::make_unique<auction::OnlineGreedyMechanism>()),
+      offline(std::make_unique<auction::OfflineVcgMechanism>()) {}
+
+std::vector<const auction::Mechanism*> StandardMechanisms::pointers() const {
+  return {online.get(), offline.get()};
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,26 @@
+#include "sim/sweep.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace mcs::sim {
+
+std::vector<SweepPoint> run_sweep(
+    const SimulationConfig& base, const std::vector<double>& xs,
+    const ConfigMutator& mutate,
+    const std::vector<const auction::Mechanism*>& mechanisms) {
+  MCS_EXPECTS(!xs.empty(), "sweep requires at least one x value");
+  MCS_EXPECTS(static_cast<bool>(mutate), "sweep requires a mutator");
+
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (const double x : xs) {
+    SimulationConfig config = base;
+    mutate(config.workload, x);
+    MCS_LOG_INFO("sweep point x=" << x);
+    points.push_back(SweepPoint{x, simulate(config, mechanisms)});
+  }
+  return points;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,33 @@
+// Parameter sweeps: one simulation per x-value of a figure.
+//
+// Every evaluation figure varies exactly one workload parameter (m, lambda,
+// or c-bar) and plots a metric for the online and offline mechanisms. A
+// Sweep binds the parameter mutation to the x-values and runs the simulator
+// at each point with the same base seed, so figures differ only in the
+// swept parameter.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mcs::sim {
+
+/// Applies one sweep x-value to the workload (e.g. "set num_slots = x").
+using ConfigMutator = std::function<void(model::WorkloadConfig&, double x)>;
+
+struct SweepPoint {
+  double x{0.0};
+  SimulationResult result;
+};
+
+/// Runs the simulation at every x. The base config's swept field is
+/// overwritten by the mutator; everything else (including the seed) is
+/// shared across points.
+[[nodiscard]] std::vector<SweepPoint> run_sweep(
+    const SimulationConfig& base, const std::vector<double>& xs,
+    const ConfigMutator& mutate,
+    const std::vector<const auction::Mechanism*>& mechanisms);
+
+}  // namespace mcs::sim

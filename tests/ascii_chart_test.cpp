@@ -1,0 +1,96 @@
+// Tests for the terminal chart renderer used by the figure benches.
+#include "io/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mcs::io {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AsciiChart, DimensionsMatchConfiguration) {
+  const AsciiChart chart(40, 8);
+  const std::string out =
+      chart.to_string({1, 2, 3}, {ChartSeries{"s", {1.0, 2.0, 3.0}, 'o'}});
+  const std::vector<std::string> lines = lines_of(out);
+  // 8 plot rows + x axis rule + x labels + legend.
+  ASSERT_EQ(lines.size(), 11u);
+  // Every plot row: 10 label chars + " |" + width.
+  EXPECT_EQ(lines[0].size(), 10u + 2u + 40u);
+}
+
+TEST(AsciiChart, ExtremesLandOnTopAndBottomRows) {
+  const AsciiChart chart(20, 5);
+  const std::string out =
+      chart.to_string({0, 1}, {ChartSeries{"s", {0.0, 10.0}, 'o'}});
+  const std::vector<std::string> lines = lines_of(out);
+  // Max (10.0) on the first plot row, rightmost column; min on the last
+  // plot row, leftmost column.
+  EXPECT_EQ(lines[0].back(), 'o');
+  EXPECT_EQ(lines[4][12], 'o');
+}
+
+TEST(AsciiChart, CollisionsBecomeHash) {
+  const AsciiChart chart(20, 5);
+  const std::string out = chart.to_string(
+      {0, 1}, {ChartSeries{"a", {5.0, 1.0}, 'o'},
+               ChartSeries{"b", {5.0, 9.0}, 'x'}});
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("(# = overlap)"), std::string::npos);
+}
+
+TEST(AsciiChart, LegendNamesAllSeries) {
+  const AsciiChart chart;
+  const std::string out = chart.to_string(
+      {1, 2}, {ChartSeries{"online", {1, 2}, 'o'},
+               ChartSeries{"offline", {2, 3}, 'x'}});
+  EXPECT_NE(out.find("o = online"), std::string::npos);
+  EXPECT_NE(out.find("x = offline"), std::string::npos);
+}
+
+TEST(AsciiChart, FlatSeriesRendersMidBand) {
+  const AsciiChart chart(20, 5);
+  const std::string out =
+      chart.to_string({0, 1, 2}, {ChartSeries{"s", {4.0, 4.0, 4.0}, 'o'}});
+  const std::vector<std::string> lines = lines_of(out);
+  // All markers on the middle row.
+  EXPECT_NE(lines[2].find('o'), std::string::npos);
+  EXPECT_EQ(lines[0].find('o'), std::string::npos);
+  EXPECT_EQ(lines[4].find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  const AsciiChart chart(30, 6);
+  const std::string out =
+      chart.to_string({10, 80}, {ChartSeries{"s", {100.0, 900.0}, 'o'}});
+  EXPECT_NE(out.find("900.00"), std::string::npos);
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("80"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsMalformedInput) {
+  const AsciiChart chart;
+  std::ostringstream os;
+  EXPECT_THROW(chart.render(os, {}, {ChartSeries{"s", {}, 'o'}}),
+               ContractViolation);
+  EXPECT_THROW(chart.render(os, {1, 2}, {}), ContractViolation);
+  EXPECT_THROW(chart.render(os, {1, 2}, {ChartSeries{"s", {1.0}, 'o'}}),
+               ContractViolation);
+  EXPECT_THROW(chart.render(os, {2, 1}, {ChartSeries{"s", {1.0, 2.0}, 'o'}}),
+               ContractViolation);
+  EXPECT_THROW(AsciiChart(3, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcs::io

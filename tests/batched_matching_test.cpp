@@ -1,0 +1,163 @@
+// Tests for the batched-matching lookahead ablation: its extremes must
+// coincide with the paper's two mechanisms, intermediate batch sizes must
+// interpolate welfare, and the loss of time-truthfulness for any finite
+// lookahead must be demonstrable (the generalized Fig. 5 lesson).
+#include "auction/batched_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/competitive.hpp"
+#include "analysis/rationality.hpp"
+#include "analysis/truthfulness.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/rng.hpp"
+#include "model/paper_examples.hpp"
+#include "model/workload.hpp"
+
+namespace mcs::auction {
+namespace {
+
+Money mu(std::int64_t units) { return Money::from_units(units); }
+
+TEST(BatchedMatching, RejectsZeroBatchSize) {
+  EXPECT_THROW(BatchedMatchingMechanism(BatchedMatchingConfig{0}),
+               ContractViolation);
+}
+
+TEST(BatchedMatching, NameCarriesTheWindow) {
+  EXPECT_EQ(BatchedMatchingMechanism(BatchedMatchingConfig{5}).name(),
+            "batched-matching(w=5)");
+}
+
+TEST(BatchedMatching, FullRoundBatchEqualsOfflineVcgExactly) {
+  const model::Scenario s = model::fig4_scenario();
+  const BatchedMatchingMechanism batched(BatchedMatchingConfig{5});
+  const OfflineVcgMechanism offline;
+  const Outcome a = batched.run_truthful(s);
+  const Outcome b = offline.run_truthful(s);
+  EXPECT_EQ(a.payments, b.payments);
+  for (int t = 0; t < s.task_count(); ++t) {
+    EXPECT_EQ(a.allocation.phone_for(TaskId{t}),
+              b.allocation.phone_for(TaskId{t}));
+  }
+}
+
+TEST(BatchedMatching, OversizedBatchAlsoEqualsOffline) {
+  const model::Scenario s = model::fig4_scenario();
+  const Outcome a =
+      BatchedMatchingMechanism(BatchedMatchingConfig{100}).run_truthful(s);
+  const Outcome b = OfflineVcgMechanism{}.run_truthful(s);
+  EXPECT_EQ(a.payments, b.payments);
+}
+
+TEST(BatchedMatching, UnitBatchMatchesGreedyAllocationOnFig4) {
+  // With one task per slot and distinct costs, the per-slot optimum is the
+  // greedy choice; payments become per-slot VCG = second price.
+  const model::Scenario s = model::fig4_scenario();
+  const Outcome batched =
+      BatchedMatchingMechanism(BatchedMatchingConfig{1}).run_truthful(s);
+  const GreedyRun greedy = run_greedy_allocation(s, s.truthful_bids());
+  for (int t = 0; t < s.task_count(); ++t) {
+    EXPECT_EQ(batched.allocation.phone_for(TaskId{t}),
+              greedy.allocation.phone_for(TaskId{t}))
+        << "task " << t;
+  }
+  // Slot 2 winner (phone 0, cost 3) is paid the slot runner-up 4 -- the
+  // Fig. 5(a) second-price number, NOT Algorithm 2's 9.
+  EXPECT_EQ(batched.payments[0], mu(4));
+}
+
+TEST(BatchedMatching, AnyFiniteLookaheadLosesTimeTruthfulness) {
+  // The generalized Fig. 5: with w = 1 on the Fig. 4 instance the delayed
+  // arrival manipulation is profitable again.
+  const model::Scenario s = model::fig4_scenario();
+  const BatchedMatchingMechanism unit(BatchedMatchingConfig{1});
+  const analysis::TruthfulnessReport report =
+      analysis::audit_truthfulness(unit, s);
+  EXPECT_FALSE(report.truthful())
+      << "unit lookahead should be manipulable on Fig. 4";
+
+  // While the full-round batch (= offline VCG) passes the same audit.
+  const BatchedMatchingMechanism full(BatchedMatchingConfig{5});
+  EXPECT_TRUE(analysis::audit_truthfulness(full, s).truthful());
+}
+
+TEST(BatchedMatching, WelfareInterpolatesTowardOffline) {
+  Rng rng(606);
+  model::WorkloadConfig workload;
+  workload.num_slots = 20;
+  workload.phone_arrival_rate = 3.0;
+  workload.task_arrival_rate = 1.5;
+  workload.mean_cost = 12.0;
+  workload.task_value = mu(30);
+
+  double w1_total = 0.0;
+  double w5_total = 0.0;
+  double offline_total = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const model::Scenario s = model::generate_scenario(workload, rng);
+    const model::BidProfile bids = s.truthful_bids();
+    const Money w1 = BatchedMatchingMechanism(BatchedMatchingConfig{1})
+                         .run(s, bids)
+                         .claimed_welfare(s, bids);
+    const Money w5 = BatchedMatchingMechanism(BatchedMatchingConfig{5})
+                         .run(s, bids)
+                         .claimed_welfare(s, bids);
+    const Money offline =
+        OfflineVcgMechanism::optimal_claimed_welfare(s, bids);
+    // Per-instance: every batch size is dominated by the offline optimum.
+    EXPECT_LE(w1, offline);
+    EXPECT_LE(w5, offline);
+    w1_total += w1.to_double();
+    w5_total += w5.to_double();
+    offline_total += offline.to_double();
+  }
+  // In aggregate, more lookahead helps.
+  EXPECT_LE(w1_total, w5_total + 1e-9);
+  EXPECT_LE(w5_total, offline_total + 1e-9);
+}
+
+TEST(BatchedMatching, IndividuallyRationalOnGeneratedRounds) {
+  Rng rng(707);
+  model::WorkloadConfig workload;
+  workload.num_slots = 15;
+  const model::Scenario s = model::generate_scenario(workload, rng);
+  for (const Slot::rep_type w : {1, 3, 7, 15}) {
+    const BatchedMatchingMechanism mechanism(BatchedMatchingConfig{w});
+    const analysis::RationalityReport report =
+        analysis::audit_individual_rationality(mechanism, s);
+    EXPECT_TRUE(report.individually_rational())
+        << "w=" << w << ": " << report.summary();
+  }
+}
+
+TEST(BatchedMatching, SkipsEmptyBatches) {
+  const model::Scenario s = model::ScenarioBuilder(6)
+                                .value(10)
+                                .phone(1, 6, 2)
+                                .task(6)  // only the last batch has a task
+                                .build();
+  const Outcome outcome =
+      BatchedMatchingMechanism(BatchedMatchingConfig{2}).run_truthful(s);
+  EXPECT_TRUE(outcome.allocation.is_winner(PhoneId{0}));
+  EXPECT_EQ(outcome.payments[0], mu(10));  // alone in its batch: paid nu
+}
+
+TEST(BatchedMatching, PhonesAllocatedInEarlierBatchLeaveTheMarket) {
+  // One phone, tasks in two batches: it serves the first batch's task and
+  // must not be double-allocated in the second.
+  const model::Scenario s = model::ScenarioBuilder(4)
+                                .value(10)
+                                .phone(1, 4, 2)
+                                .task(1)
+                                .task(3)
+                                .build();
+  const Outcome outcome =
+      BatchedMatchingMechanism(BatchedMatchingConfig{2}).run_truthful(s);
+  EXPECT_EQ(outcome.allocation.phone_for(TaskId{0}), PhoneId{0});
+  EXPECT_FALSE(outcome.allocation.phone_for(TaskId{1}).has_value());
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,289 @@
+// Tests for the capacitated offline VCG extension: the flow formulation's
+// per-slot and capacity constraints, equivalence with the matching-based
+// mechanism at capacity 1, a brute-force oracle cross-check, VCG payment
+// properties, and truthfulness spot checks (cost, window, capacity
+// understatement).
+#include "auction/capacity_vcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "auction/offline_vcg.hpp"
+#include "common/rng.hpp"
+#include "model/scenario.hpp"
+
+namespace mcs::auction {
+namespace {
+
+Money mu(std::int64_t units) { return Money::from_units(units); }
+
+/// Exponential oracle: best claimed welfare by trying every assignment of
+/// tasks to (phone or unserved), respecting windows, per-slot uniqueness,
+/// and capacities. Tiny instances only.
+Money oracle_welfare(const model::Scenario& s, const model::BidProfile& bids,
+                     const CapacityProfile& caps) {
+  const int gamma = s.task_count();
+  const int n = s.phone_count();
+  std::vector<int> remaining(caps.begin(), caps.end());
+  std::vector<std::vector<char>> slot_used(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(s.num_slots) + 1, 0));
+
+  Money best = Money::from_units(-1'000'000);
+  Money current;
+  const auto recurse = [&](auto&& self, int t) -> void {
+    if (t == gamma) {
+      best = std::max(best, current);
+      return;
+    }
+    self(self, t + 1);  // leave task t unserved
+    const Slot slot = s.tasks[static_cast<std::size_t>(t)].slot;
+    for (int i = 0; i < n; ++i) {
+      if (remaining[static_cast<std::size_t>(i)] <= 0) continue;
+      if (slot_used[static_cast<std::size_t>(i)]
+                   [static_cast<std::size_t>(slot.value())]) {
+        continue;
+      }
+      if (!bids[static_cast<std::size_t>(i)].window.contains(slot)) continue;
+      const Money w = s.value_of(TaskId{t}) -
+                      bids[static_cast<std::size_t>(i)].claimed_cost;
+      --remaining[static_cast<std::size_t>(i)];
+      slot_used[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>(slot.value())] = 1;
+      current += w;
+      self(self, t + 1);
+      current -= w;
+      slot_used[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>(slot.value())] = 0;
+      ++remaining[static_cast<std::size_t>(i)];
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+TEST(CapacityVcg, UniformCapacityHelper) {
+  const CapacityProfile caps = uniform_capacity(3, 2);
+  EXPECT_EQ(caps, (CapacityProfile{2, 2, 2}));
+  EXPECT_THROW(uniform_capacity(-1, 1), ContractViolation);
+  EXPECT_THROW(uniform_capacity(1, -1), ContractViolation);
+}
+
+TEST(CapacityVcg, CapacityTwoServesTwoTasksInDifferentSlots) {
+  const model::Scenario s = model::ScenarioBuilder(2)
+                                .value(10)
+                                .phone(1, 2, 3)
+                                .task(1)
+                                .task(2)
+                                .build();
+  const CapacityOutcome outcome =
+      run_capacity_vcg(s, s.truthful_bids(), uniform_capacity(1, 2));
+  EXPECT_EQ(outcome.allocated_count(), 2);
+  EXPECT_EQ(outcome.tasks_served_by(PhoneId{0}), 2);
+  EXPECT_EQ(outcome.social_welfare(s), mu(14));
+}
+
+TEST(CapacityVcg, NeverTwoTasksInTheSameSlot) {
+  // Two tasks in one slot, one capacity-2 phone: only one can be served.
+  const model::Scenario s = model::ScenarioBuilder(1)
+                                .value(10)
+                                .phone(1, 1, 3)
+                                .tasks(1, 2)
+                                .build();
+  const CapacityOutcome outcome =
+      run_capacity_vcg(s, s.truthful_bids(), uniform_capacity(1, 2));
+  EXPECT_EQ(outcome.allocated_count(), 1);
+  EXPECT_EQ(outcome.tasks_served_by(PhoneId{0}), 1);
+}
+
+TEST(CapacityVcg, ZeroCapacityPhoneAbstains) {
+  const model::Scenario s = model::ScenarioBuilder(1)
+                                .value(10)
+                                .phone(1, 1, 1)
+                                .phone(1, 1, 5)
+                                .task(1)
+                                .build();
+  const CapacityOutcome outcome =
+      run_capacity_vcg(s, s.truthful_bids(), CapacityProfile{0, 1});
+  EXPECT_EQ(outcome.tasks_served_by(PhoneId{0}), 0);
+  EXPECT_EQ(outcome.tasks_served_by(PhoneId{1}), 1);
+}
+
+TEST(CapacityVcg, CapacityOneMatchesMatchingMechanism) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    model::ScenarioBuilder builder(4);
+    builder.value(20);
+    const int phones = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < phones; ++i) {
+      const auto a = static_cast<Slot::rep_type>(rng.uniform_int(1, 4));
+      const auto d = static_cast<Slot::rep_type>(rng.uniform_int(a, 4));
+      builder.phone(a, d, rng.uniform_int(1, 25));
+    }
+    const int tasks = static_cast<int>(rng.uniform_int(1, 5));
+    for (int k = 0; k < tasks; ++k) {
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(1, 4)));
+    }
+    const model::Scenario s = builder.build();
+    const model::BidProfile bids = s.truthful_bids();
+
+    const Money flow_welfare =
+        optimal_capacity_welfare(s, bids, uniform_capacity(phones, 1));
+    const Money matching_welfare =
+        OfflineVcgMechanism::optimal_claimed_welfare(s, bids);
+    ASSERT_EQ(flow_welfare, matching_welfare) << "trial " << trial;
+
+    // And the VCG utilities coincide phone by phone. (Utilities, not raw
+    // payments: with tied optima the two exact solvers may pick different
+    // zero-marginal winners, but every phone's marginal contribution --
+    // and hence its utility -- is allocation-independent.)
+    const CapacityOutcome cap =
+        run_capacity_vcg(s, bids, uniform_capacity(phones, 1));
+    const Outcome plain = OfflineVcgMechanism{}.run(s, bids);
+    for (int i = 0; i < phones; ++i) {
+      ASSERT_EQ(cap.utility(s, PhoneId{i}), plain.utility(s, PhoneId{i}))
+          << "trial " << trial << " phone " << i;
+    }
+  }
+}
+
+TEST(CapacityVcg, WelfareMatchesOracleOnRandomCapacitatedInstances) {
+  Rng rng(5151);
+  for (int trial = 0; trial < 25; ++trial) {
+    model::ScenarioBuilder builder(3);
+    builder.value(15);
+    const int phones = static_cast<int>(rng.uniform_int(1, 3));
+    CapacityProfile caps;
+    for (int i = 0; i < phones; ++i) {
+      const auto a = static_cast<Slot::rep_type>(rng.uniform_int(1, 3));
+      const auto d = static_cast<Slot::rep_type>(rng.uniform_int(a, 3));
+      builder.phone(a, d, rng.uniform_int(1, 20));
+      caps.push_back(static_cast<int>(rng.uniform_int(0, 3)));
+    }
+    const int tasks = static_cast<int>(rng.uniform_int(1, 5));
+    for (int k = 0; k < tasks; ++k) {
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(1, 3)));
+    }
+    const model::Scenario s = builder.build();
+    const model::BidProfile bids = s.truthful_bids();
+    ASSERT_EQ(optimal_capacity_welfare(s, bids, caps),
+              oracle_welfare(s, bids, caps))
+        << "trial " << trial;
+  }
+}
+
+TEST(CapacityVcg, PaymentsCoverClaimedCostsAndUtilitiesAreMarginals) {
+  const model::Scenario s = model::ScenarioBuilder(2)
+                                .value(10)
+                                .phone(1, 2, 2)   // capacity 2
+                                .phone(1, 2, 6)   // rival
+                                .task(1)
+                                .task(2)
+                                .build();
+  const model::BidProfile bids = s.truthful_bids();
+  const CapacityOutcome outcome =
+      run_capacity_vcg(s, bids, CapacityProfile{2, 1});
+  // Phone 0 serves both slots (cost 2 < 6 everywhere).
+  EXPECT_EQ(outcome.tasks_served_by(PhoneId{0}), 2);
+  // omega = 16; without phone 0: phone 1 serves one task -> omega_-0 = 4;
+  // payment = 2*2 + (16 - 4) = 16; utility = 16 - 4 = 12.
+  EXPECT_EQ(outcome.payments[0], mu(16));
+  EXPECT_EQ(outcome.utility(s, PhoneId{0}), mu(12));
+  EXPECT_EQ(outcome.payments[1], Money{});
+  EXPECT_GE(outcome.utility(s, PhoneId{1}), Money{});
+}
+
+TEST(CapacityVcg, CostMisreportsNeverHelp) {
+  const model::Scenario s = model::ScenarioBuilder(2)
+                                .value(12)
+                                .phone(1, 2, 4)
+                                .phone(1, 1, 6)
+                                .phone(2, 2, 7)
+                                .task(1)
+                                .task(2)
+                                .build();
+  const CapacityProfile caps{2, 1, 1};
+  const model::BidProfile truthful = s.truthful_bids();
+  for (int i = 0; i < s.phone_count(); ++i) {
+    const PhoneId phone{i};
+    const Money honest =
+        run_capacity_vcg(s, truthful, caps).utility(s, phone);
+    for (const std::int64_t lie : {1, 2, 3, 5, 8, 11, 20}) {
+      const model::BidProfile deviant = model::with_bid(
+          truthful, phone,
+          model::Bid{s.phone(phone).active, mu(lie)});
+      const Money gamed = run_capacity_vcg(s, deviant, caps).utility(s, phone);
+      EXPECT_LE(gamed, honest) << "phone " << i << " lying cost " << lie;
+    }
+  }
+}
+
+TEST(CapacityVcg, WindowAndCapacityUnderstatementNeverHelp) {
+  const model::Scenario s = model::ScenarioBuilder(3)
+                                .value(12)
+                                .phone(1, 3, 4)
+                                .phone(1, 3, 6)
+                                .task(1)
+                                .task(2)
+                                .task(3)
+                                .build();
+  const CapacityProfile caps{2, 2};
+  const model::BidProfile truthful = s.truthful_bids();
+  const Money honest = run_capacity_vcg(s, truthful, caps).utility(s, PhoneId{0});
+
+  // Tighter windows.
+  for (const auto& window :
+       {SlotInterval::of(2, 3), SlotInterval::of(1, 2), SlotInterval::of(2, 2)}) {
+    const model::BidProfile deviant = model::with_bid(
+        truthful, PhoneId{0}, model::Bid{window, s.phone(PhoneId{0}).cost});
+    EXPECT_LE(run_capacity_vcg(s, deviant, caps).utility(s, PhoneId{0}),
+              honest)
+        << window;
+  }
+  // Understated capacity.
+  for (const int understated : {0, 1}) {
+    CapacityProfile lied = caps;
+    lied[0] = understated;
+    EXPECT_LE(run_capacity_vcg(s, truthful, lied).utility(s, PhoneId{0}),
+              honest)
+        << "capacity " << understated;
+  }
+}
+
+TEST(CapacityVcg, RejectsMalformedInputs) {
+  const model::Scenario s =
+      model::ScenarioBuilder(1).value(10).phone(1, 1, 1).task(1).build();
+  EXPECT_THROW(run_capacity_vcg(s, s.truthful_bids(), CapacityProfile{}),
+               ContractViolation);
+  EXPECT_THROW(run_capacity_vcg(s, s.truthful_bids(), CapacityProfile{-1}),
+               ContractViolation);
+}
+
+TEST(CapacityVcg, HigherCapacityNeverHurtsWelfare) {
+  Rng rng(6161);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::ScenarioBuilder builder(4);
+    builder.value(25);
+    const int phones = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < phones; ++i) {
+      builder.phone(1, 4, rng.uniform_int(1, 20));
+    }
+    const int tasks = static_cast<int>(rng.uniform_int(2, 6));
+    for (int k = 0; k < tasks; ++k) {
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(1, 4)));
+    }
+    const model::Scenario s = builder.build();
+    const model::BidProfile bids = s.truthful_bids();
+    Money previous = Money::from_units(-1);
+    for (int capacity = 1; capacity <= 4; ++capacity) {
+      const Money welfare = optimal_capacity_welfare(
+          s, bids, uniform_capacity(phones, capacity));
+      EXPECT_GE(welfare, previous) << "trial " << trial << " cap " << capacity;
+      previous = welfare;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,134 @@
+// Unit tests for the exact fixed-point Money type. Auction properties are
+// knife-edge on exact arithmetic, so these tests pin down representation,
+// rounding, and formatting behavior precisely.
+#include "common/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+#include <sstream>
+
+namespace mcs {
+namespace {
+
+using money_literals::operator""_mu;
+
+TEST(Money, DefaultIsZero) {
+  const Money m;
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_FALSE(m.is_negative());
+  EXPECT_EQ(m.micros(), 0);
+}
+
+TEST(Money, FromUnitsScalesByAMillion) {
+  EXPECT_EQ(Money::from_units(25).micros(), 25'000'000);
+  EXPECT_EQ(Money::from_units(-3).micros(), -3'000'000);
+}
+
+TEST(Money, LiteralMatchesFromUnits) {
+  EXPECT_EQ(25_mu, Money::from_units(25));
+  EXPECT_EQ(0_mu, Money{});
+}
+
+TEST(Money, FromMicrosRoundTrips) {
+  const Money m = Money::from_micros(123'456'789);
+  EXPECT_EQ(m.micros(), 123'456'789);
+}
+
+TEST(Money, AdditionAndSubtraction) {
+  EXPECT_EQ(3_mu + 4_mu, 7_mu);
+  EXPECT_EQ(3_mu - 4_mu, Money::from_units(-1));
+  Money m = 10_mu;
+  m += 5_mu;
+  EXPECT_EQ(m, 15_mu);
+  m -= 20_mu;
+  EXPECT_EQ(m, Money::from_units(-5));
+}
+
+TEST(Money, UnaryNegation) {
+  EXPECT_EQ(-(3_mu), Money::from_units(-3));
+  EXPECT_EQ(-Money{}, Money{});
+}
+
+TEST(Money, ScalarMultiplication) {
+  EXPECT_EQ(3_mu * 4, 12_mu);
+  EXPECT_EQ(4 * (3_mu), 12_mu);
+  EXPECT_EQ(3_mu * 0, Money{});
+  EXPECT_EQ(3_mu * -2, Money::from_units(-6));
+}
+
+TEST(Money, ComparisonsAreExact) {
+  EXPECT_LT(Money::from_micros(1), Money::from_micros(2));
+  EXPECT_LE(3_mu, 3_mu);
+  EXPECT_GT(3_mu + Money::from_micros(1), 3_mu);
+  EXPECT_NE(3_mu, Money::from_micros(3'000'001));
+}
+
+TEST(Money, FromDoubleRoundsToNearestMicro) {
+  EXPECT_EQ(Money::from_double(1.5).micros(), 1'500'000);
+  EXPECT_EQ(Money::from_double(0.0000005).micros(), 1);  // round half up
+  EXPECT_EQ(Money::from_double(-2.25).micros(), -2'250'000);
+}
+
+TEST(Money, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(std::ignore = Money::from_double(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(std::ignore = Money::from_double(std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+}
+
+TEST(Money, FromDoubleRejectsOutOfRange) {
+  EXPECT_THROW(std::ignore = Money::from_double(1e18), ContractViolation);
+}
+
+TEST(Money, ToDoubleInverseOfFromUnits) {
+  EXPECT_DOUBLE_EQ((25_mu).to_double(), 25.0);
+  EXPECT_DOUBLE_EQ(Money::from_micros(1'500'000).to_double(), 1.5);
+}
+
+TEST(Money, RatioToComputesExactQuotient) {
+  EXPECT_DOUBLE_EQ((3_mu).ratio_to(4_mu), 0.75);
+  EXPECT_DOUBLE_EQ((Money::from_units(-1)).ratio_to(2_mu), -0.5);
+}
+
+TEST(Money, RatioToRejectsZeroDenominator) {
+  EXPECT_THROW(std::ignore = (3_mu).ratio_to(Money{}), ContractViolation);
+}
+
+TEST(Money, ToStringWholeUnits) {
+  EXPECT_EQ((25_mu).to_string(), "25");
+  EXPECT_EQ(Money{}.to_string(), "0");
+  EXPECT_EQ(Money::from_units(-7).to_string(), "-7");
+}
+
+TEST(Money, ToStringTrimsTrailingZeros) {
+  EXPECT_EQ(Money::from_micros(1'500'000).to_string(), "1.5");
+  EXPECT_EQ(Money::from_micros(1'230'000).to_string(), "1.23");
+  EXPECT_EQ(Money::from_micros(1).to_string(), "0.000001");
+  EXPECT_EQ(Money::from_micros(-2'000'001).to_string(), "-2.000001");
+}
+
+TEST(Money, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Money::from_micros(1'500'000);
+  EXPECT_EQ(os.str(), "1.5");
+}
+
+TEST(Money, MaxLeavesSummationHeadroom) {
+  // A couple of max() sentinels may be added without signed overflow.
+  const Money m = Money::max();
+  EXPECT_NO_THROW({
+    const Money sum = m + m;
+    EXPECT_GT(sum, m);
+  });
+}
+
+TEST(Money, IsNegative) {
+  EXPECT_TRUE(Money::from_units(-1).is_negative());
+  EXPECT_FALSE(Money{}.is_negative());
+  EXPECT_FALSE((1_mu).is_negative());
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,84 @@
+// The evaluation figures' qualitative claims, as tests.
+//
+// EXPERIMENTS.md argues the reproduction matches the paper's *shapes*;
+// these tests pin the shapes down so a regression that flips a trend
+// (e.g., a welfare computation bug that inverts the cost sweep) fails CI
+// rather than silently producing wrong-but-plausible figures. Downscaled
+// sweeps, several seeds, endpoint comparisons with healthy margins -- all
+// deterministic, so no flakes.
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+
+namespace mcs::sim {
+namespace {
+
+SimulationConfig small_base(std::uint64_t seed) {
+  SimulationConfig base;
+  base.workload.num_slots = 12;
+  base.workload.phone_arrival_rate = 5.0;
+  base.workload.task_arrival_rate = 2.5;
+  base.workload.mean_cost = 20.0;
+  base.workload.task_value = Money::from_units(45);
+  base.repetitions = 12;
+  base.base_seed = seed;
+  return base;
+}
+
+class FigureTrends : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FigureTrends, WelfareIncreasesWithTheHorizon) {  // Fig. 6
+  FigureSpec spec = figure("fig6");
+  spec.xs = {6, 24};
+  const FigureSeries series = run_figure(spec, small_base(GetParam()));
+  EXPECT_GT(series.online_means.back(), 2.0 * series.online_means.front());
+  EXPECT_GT(series.offline_means.back(), 2.0 * series.offline_means.front());
+}
+
+TEST_P(FigureTrends, WelfareIncreasesWithSupply) {  // Fig. 7
+  FigureSpec spec = figure("fig7");
+  spec.xs = {1.5, 8};
+  const FigureSeries series = run_figure(spec, small_base(GetParam()));
+  EXPECT_GT(series.online_means.back(), series.online_means.front());
+  EXPECT_GT(series.offline_means.back(), series.offline_means.front());
+}
+
+TEST_P(FigureTrends, WelfareDecreasesWithCosts) {  // Fig. 8
+  FigureSpec spec = figure("fig8");
+  spec.xs = {5, 40};
+  const FigureSeries series = run_figure(spec, small_base(GetParam()));
+  EXPECT_LT(series.online_means.back(), series.online_means.front());
+  EXPECT_LT(series.offline_means.back(), series.offline_means.front());
+}
+
+TEST_P(FigureTrends, OfflineDominatesOnlineEverywhere) {  // all figures
+  for (const char* id : {"fig6", "fig7", "fig8"}) {
+    FigureSpec spec = figure(id);
+    spec.xs = {spec.xs.front() / 4.0, spec.xs.back() / 4.0};
+    const FigureSeries series = run_figure(spec, small_base(GetParam()));
+    for (std::size_t k = 0; k < series.xs.size(); ++k) {
+      EXPECT_GE(series.offline_means[k] + 1e-9, series.online_means[k])
+          << id << " x=" << series.xs[k];
+    }
+  }
+}
+
+TEST_P(FigureTrends, OverpaymentRatioStaysInABand) {  // Figs. 9-11
+  for (const char* id : {"fig9", "fig10", "fig11"}) {
+    FigureSpec spec = figure(id);
+    spec.xs = {spec.xs.front() / 2.0, spec.xs.back() / 2.0};
+    const FigureSeries series = run_figure(spec, small_base(GetParam()));
+    for (std::size_t k = 0; k < series.xs.size(); ++k) {
+      EXPECT_GE(series.online_means[k], 0.0) << id;
+      EXPECT_LT(series.online_means[k], 5.0) << id << " (sigma exploded)";
+      EXPECT_GE(series.offline_means[k], 0.0) << id;
+      EXPECT_LT(series.offline_means[k], 5.0) << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FigureTrends,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,236 @@
+// Tests for the output layer: tables, CSV, JSON, CLI flags.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+namespace mcs::io {
+namespace {
+
+TEST(TextTable, AlignsColumnsToContent) {
+  TextTable table({"m", "online"});
+  table.add_row({"30", "201.5"});
+  table.add_row({"100", "7.0"});
+  const std::string out = table.to_string();
+  std::istringstream is(out);
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(header, "  m  online");
+  EXPECT_EQ(rule, "---  ------");
+  EXPECT_EQ(row1, " 30   201.5");
+  EXPECT_EQ(row2, "100     7.0");
+}
+
+TEST(TextTable, RowBuilderFormatsCells) {
+  TextTable table({"a", "b", "c"});
+  { table.row().cell("x").cell(1.2345, 2).cell(std::int64_t{42}); }
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.to_string().find("1.23"), std::string::npos);
+  EXPECT_NE(table.to_string().find("42"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(2.345, 1), "2.3");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, WriterEmitsHeaderOnce) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.set_header({"x", "y"});
+  writer.write_row({"1", "2"});
+  writer.write_row({"3", "4"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(Csv, WriterWithoutHeaderEmitsBareRecords) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"1", "2"});
+  writer.write_row({"3"});  // no header: widths unconstrained
+  EXPECT_EQ(os.str(), "1,2\n3\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+  // Header registration after rows is a misuse.
+  EXPECT_THROW(writer.set_header({"x"}), ContractViolation);
+}
+
+TEST(Csv, WriterChecksWidthAgainstHeader) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.set_header({"x", "y"});
+  EXPECT_THROW(writer.write_row({"1"}), ContractViolation);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mcs_csv_test.csv";
+  write_csv_file(path, {"a", "b"}, {{"1", "two,2"}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1,\"two,2\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FileOpenFailureThrowsIoError) {
+  EXPECT_THROW(write_csv_file("/nonexistent-dir/x.csv", {"a"}, {}), IoError);
+}
+
+TEST(Json, ObjectWithAllScalarTypes) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .field("s", "text")
+      .field("d", 1.5)
+      .field("i", std::int64_t{-3})
+      .field("b", true);
+  json.key("n").null();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(), R"({"s":"text","d":1.5,"i":-3,"b":true,"n":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object().key("rows").begin_array();
+  json.begin_object().field("x", std::int64_t{1}).end_object();
+  json.begin_object().field("x", std::int64_t{2}).end_object();
+  json.end_array().end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(), R"({"rows":[{"x":1},{"x":2}]})");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(Json, MisuseIsRejected) {
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    EXPECT_THROW(json.key("k"), ContractViolation);  // key outside object
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_object();
+    EXPECT_THROW(json.value("v"), ContractViolation);  // value without key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), ContractViolation);  // mismatched end
+    EXPECT_FALSE(json.complete());
+  }
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  CliParser cli("test");
+  cli.add_int("reps", 30, "repetitions");
+  cli.add_double("rate", 6.0, "rate");
+  cli.add_string("csv", "", "csv path");
+  cli.add_switch("verbose", "chatty");
+
+  const char* argv[] = {"prog",       "--reps", "50",       "--rate=2.5",
+                        "--verbose", "--csv",  "/tmp/x.csv"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(cli.get_int("reps"), 50);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.5);
+  EXPECT_EQ(cli.get_string("csv"), "/tmp/x.csv");
+  EXPECT_TRUE(cli.get_switch("verbose"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  CliParser cli("test");
+  cli.add_int("reps", 30, "repetitions");
+  cli.add_switch("verbose", "chatty");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("reps"), 30);
+  EXPECT_FALSE(cli.get_switch("verbose"));
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  CliParser cli("test");
+  cli.add_int("reps", 30, "repetitions");
+  {
+    const char* argv[] = {"prog", "--unknown", "1"};
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
+  }
+  {
+    const char* argv[] = {"prog", "--reps", "abc"};
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
+  }
+  {
+    const char* argv[] = {"prog", "--reps"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgumentError);
+  }
+  {
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgumentError);
+  }
+}
+
+TEST(Cli, HelpReturnsFalseAndPrintsUsage) {
+  CliParser cli("my summary");
+  cli.add_int("reps", 30, "repetitions");
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("my summary"), std::string::npos);
+  EXPECT_NE(out.find("--reps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::io

@@ -1,0 +1,106 @@
+// Tests for the multi-round community simulation (the Fig. 9 "stable in
+// the long run" driver).
+#include "sim/multi_round.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mcs::sim {
+namespace {
+
+MultiRoundConfig small_config() {
+  MultiRoundConfig config;
+  config.workload.num_slots = 8;
+  config.workload.phone_arrival_rate = 2.0;
+  config.workload.task_arrival_rate = 1.0;
+  config.workload.mean_cost = 10.0;
+  config.workload.task_value = Money::from_units(25);
+  config.rounds = 6;
+  config.retention = 0.5;
+  config.seed = 5;
+  return config;
+}
+
+TEST(MultiRound, ProducesOneRecordPerRound) {
+  const MultiRoundResult result = run_multi_round(small_config());
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(result.rounds[static_cast<std::size_t>(r)].round, r + 1);
+  }
+  EXPECT_EQ(result.online_sigma.count(), 6u);
+  EXPECT_EQ(result.community_size.count(), 6u);
+}
+
+TEST(MultiRound, DeterministicPerSeed) {
+  const MultiRoundResult a = run_multi_round(small_config());
+  const MultiRoundResult b = run_multi_round(small_config());
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].community_size, b.rounds[r].community_size);
+    EXPECT_EQ(a.rounds[r].online.social_welfare,
+              b.rounds[r].online.social_welfare);
+  }
+  MultiRoundConfig other = small_config();
+  other.seed = 6;
+  const MultiRoundResult c = run_multi_round(other);
+  EXPECT_NE(a.online_welfare.mean(), c.online_welfare.mean());
+}
+
+TEST(MultiRound, ZeroRetentionMeansFreshCommunityEachRound) {
+  MultiRoundConfig config = small_config();
+  config.retention = 0.0;
+  const MultiRoundResult result = run_multi_round(config);
+  // Community = that round's newcomers only: ~ Poisson(lambda * m) = 16.
+  for (const RoundRecord& record : result.rounds) {
+    EXPECT_LT(record.community_size, 40);
+  }
+}
+
+TEST(MultiRound, FullRetentionGrowsTheCommunity) {
+  MultiRoundConfig config = small_config();
+  config.retention = 1.0;
+  const MultiRoundResult result = run_multi_round(config);
+  // Nobody leaves: community size is nondecreasing.
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_GE(result.rounds[r].community_size,
+              result.rounds[r - 1].community_size);
+  }
+}
+
+TEST(MultiRound, PartialRetentionStabilizesCommunity) {
+  MultiRoundConfig config = small_config();
+  config.rounds = 20;
+  const MultiRoundResult result = run_multi_round(config);
+  // Steady state ~ newcomers / (1 - retention) = 32; generous band.
+  const int late = result.rounds.back().community_size;
+  EXPECT_GT(late, 8);
+  EXPECT_LT(late, 100);
+}
+
+TEST(MultiRound, OfflineDominatesOnlineEveryRound) {
+  const MultiRoundResult result = run_multi_round(small_config());
+  for (const RoundRecord& record : result.rounds) {
+    EXPECT_GE(record.offline.social_welfare, record.online.social_welfare)
+        << "round " << record.round;
+    EXPECT_GE(record.online.overpayment_ratio, 0.0);
+    EXPECT_GE(record.offline.overpayment_ratio, 0.0);
+  }
+}
+
+TEST(MultiRound, ValidationRejectsBadConfig) {
+  MultiRoundConfig config = small_config();
+  config.rounds = 0;
+  EXPECT_THROW(run_multi_round(config), InvalidArgumentError);
+
+  config = small_config();
+  config.retention = 1.5;
+  EXPECT_THROW(run_multi_round(config), InvalidArgumentError);
+
+  config = small_config();
+  config.workload.cost_distribution = model::CostDistribution::kNormal;
+  EXPECT_THROW(run_multi_round(config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,90 @@
+// Tests for the multi-threaded simulator: identical sample sets to the
+// sequential run, merge correctness, and argument handling.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mcs::sim {
+namespace {
+
+SimulationConfig config_for_test() {
+  SimulationConfig config;
+  config.workload.num_slots = 10;
+  config.workload.phone_arrival_rate = 4.0;
+  config.workload.task_arrival_rate = 2.0;
+  config.workload.mean_cost = 10.0;
+  config.workload.task_value = Money::from_units(25);
+  config.repetitions = 12;
+  config.base_seed = 77;
+  return config;
+}
+
+TEST(ParallelSim, MatchesSequentialAggregates) {
+  const SimulationConfig config = config_for_test();
+  const StandardMechanisms mechanisms;
+  const SimulationResult sequential = simulate(config, mechanisms.pointers());
+  for (const int threads : {2, 3, 4}) {
+    const SimulationResult parallel =
+        simulate_parallel(config, mechanisms.pointers(), threads);
+    ASSERT_EQ(parallel.mechanisms.size(), sequential.mechanisms.size());
+    for (std::size_t k = 0; k < sequential.mechanisms.size(); ++k) {
+      const MechanismAggregate& a = sequential.mechanisms[k];
+      const MechanismAggregate& b = parallel.mechanisms[k];
+      EXPECT_EQ(a.name, b.name);
+      ASSERT_EQ(a.social_welfare.count(), b.social_welfare.count())
+          << "threads=" << threads;
+      // Same sample set, possibly different accumulation order.
+      EXPECT_NEAR(a.social_welfare.mean(), b.social_welfare.mean(), 1e-9);
+      EXPECT_NEAR(a.overpayment_ratio.mean(), b.overpayment_ratio.mean(),
+                  1e-12);
+      EXPECT_DOUBLE_EQ(a.social_welfare.min(), b.social_welfare.min());
+      EXPECT_DOUBLE_EQ(a.social_welfare.max(), b.social_welfare.max());
+    }
+    EXPECT_EQ(parallel.phones_per_round.count(),
+              sequential.phones_per_round.count());
+    EXPECT_NEAR(parallel.phones_per_round.mean(),
+                sequential.phones_per_round.mean(), 1e-9);
+  }
+}
+
+TEST(ParallelSim, SingleThreadDelegatesToSequential) {
+  const SimulationConfig config = config_for_test();
+  const StandardMechanisms mechanisms;
+  const SimulationResult a = simulate(config, mechanisms.pointers());
+  const SimulationResult b =
+      simulate_parallel(config, mechanisms.pointers(), 1);
+  EXPECT_DOUBLE_EQ(a.mechanisms[0].social_welfare.mean(),
+                   b.mechanisms[0].social_welfare.mean());
+}
+
+TEST(ParallelSim, MoreThreadsThanRepsIsFine) {
+  SimulationConfig config = config_for_test();
+  config.repetitions = 2;
+  const StandardMechanisms mechanisms;
+  const SimulationResult result =
+      simulate_parallel(config, mechanisms.pointers(), 16);
+  EXPECT_EQ(result.mechanisms[0].social_welfare.count(), 2u);
+}
+
+TEST(ParallelSim, DefaultThreadCountWorks) {
+  const SimulationConfig config = config_for_test();
+  const StandardMechanisms mechanisms;
+  const SimulationResult result =
+      simulate_parallel(config, mechanisms.pointers(), 0);
+  EXPECT_EQ(result.mechanisms[0].social_welfare.count(), 12u);
+}
+
+TEST(ParallelSim, SharesInputValidationWithSequential) {
+  SimulationConfig config = config_for_test();
+  const StandardMechanisms mechanisms;
+  config.repetitions = 0;
+  EXPECT_THROW(simulate_parallel(config, mechanisms.pointers(), 4),
+               ContractViolation);
+  config = config_for_test();
+  EXPECT_THROW(simulate_parallel(config, {}, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcs::sim

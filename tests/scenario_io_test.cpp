@@ -1,0 +1,218 @@
+// Tests for scenario persistence: exact round-trips, format tolerance
+// (comments, ordering), and precise parse-error reporting. Also covers
+// Money::parse, the format's number parser.
+#include "model/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/paper_examples.hpp"
+#include "common/rng.hpp"
+#include "model/workload.hpp"
+
+namespace mcs::model {
+namespace {
+
+Money mu(std::int64_t units) { return Money::from_units(units); }
+
+// ------------------------------------------------------------ Money::parse
+
+TEST(MoneyParse, RoundTripsToString) {
+  for (const std::int64_t micros :
+       {0LL, 1LL, 500000LL, 1000000LL, 25000000LL, -3500000LL, 123456789LL}) {
+    const Money m = Money::from_micros(micros);
+    EXPECT_EQ(Money::parse(m.to_string()), m) << m.to_string();
+  }
+}
+
+TEST(MoneyParse, AcceptsCommonForms) {
+  EXPECT_EQ(Money::parse("25"), mu(25));
+  EXPECT_EQ(Money::parse("-3.5"), Money::from_micros(-3'500'000));
+  EXPECT_EQ(Money::parse("+2"), mu(2));
+  EXPECT_EQ(Money::parse("0.000001"), Money::from_micros(1));
+}
+
+TEST(MoneyParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "abc", "1.", ".5", "1.0000001", "1 2", "--1", "1e3", "12x"}) {
+    EXPECT_THROW(std::ignore = Money::parse(bad), InvalidArgumentError) << bad;
+  }
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(ScenarioIo, RoundTripsFig4Exactly) {
+  const Scenario original = fig4_scenario();
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const Scenario loaded = read_scenario(buffer);
+
+  EXPECT_EQ(loaded.num_slots, original.num_slots);
+  EXPECT_EQ(loaded.task_value, original.task_value);
+  ASSERT_EQ(loaded.phones.size(), original.phones.size());
+  for (std::size_t i = 0; i < original.phones.size(); ++i) {
+    EXPECT_EQ(loaded.phones[i], original.phones[i]) << "phone " << i;
+  }
+  ASSERT_EQ(loaded.tasks.size(), original.tasks.size());
+  for (std::size_t t = 0; t < original.tasks.size(); ++t) {
+    EXPECT_EQ(loaded.tasks[t], original.tasks[t]) << "task " << t;
+  }
+}
+
+TEST(ScenarioIo, RoundTripsWeightedTasksAndFractionalCosts) {
+  Scenario original = ScenarioBuilder(3)
+                          .value(20)
+                          .valued_task(2, 35)
+                          .task(1)
+                          .phone(1, 3, 4)
+                          .build();
+  original.phones[0].cost = Money::from_micros(4'250'000);  // 4.25
+  original.validate();
+
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const Scenario loaded = read_scenario(buffer);
+  EXPECT_EQ(loaded.phones[0].cost, Money::from_micros(4'250'000));
+  EXPECT_EQ(loaded.value_of(TaskId{1}), mu(35));  // slot-2 task sorted second
+  EXPECT_EQ(loaded.value_of(TaskId{0}), mu(20));
+}
+
+TEST(ScenarioIo, RoundTripsGeneratedWorkload) {
+  Rng rng(12);
+  WorkloadConfig workload;
+  workload.num_slots = 15;
+  const Scenario original = generate_scenario(workload, rng);
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const Scenario loaded = read_scenario(buffer);
+  EXPECT_EQ(loaded.phone_count(), original.phone_count());
+  EXPECT_EQ(loaded.task_count(), original.task_count());
+  for (int i = 0; i < original.phone_count(); ++i) {
+    EXPECT_EQ(loaded.phone(PhoneId{i}), original.phone(PhoneId{i}));
+  }
+}
+
+TEST(ScenarioIo, FileSaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/mcs_scenario_test.mcs";
+  const Scenario original = fig4_scenario();
+  save_scenario(path, original);
+  const Scenario loaded = load_scenario(path);
+  EXPECT_EQ(loaded.phone_count(), 7);
+  EXPECT_EQ(loaded.task_count(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioIo, FileErrorsThrowIoError) {
+  EXPECT_THROW(std::ignore = load_scenario("/nonexistent/path.mcs"), IoError);
+  EXPECT_THROW(save_scenario("/nonexistent-dir/x.mcs", fig4_scenario()),
+               IoError);
+}
+
+// ----------------------------------------------------------- format rules
+
+TEST(ScenarioIo, ToleratesCommentsBlankLinesAndTaskOrder) {
+  std::istringstream input(R"(
+mcs-scenario v1
+# a campaign
+slots 4
+
+value 10
+task 3            # out of order on purpose
+phone 1 4 2.5
+task 1 value 12
+)");
+  const Scenario s = read_scenario(input);
+  EXPECT_EQ(s.num_slots, 4);
+  EXPECT_EQ(s.phone_count(), 1);
+  ASSERT_EQ(s.task_count(), 2);
+  // Sorted by slot with dense ids; the weighted one arrived in slot 1.
+  EXPECT_EQ(s.tasks[0].slot, Slot{1});
+  EXPECT_EQ(s.value_of(TaskId{0}), mu(12));
+  EXPECT_EQ(s.tasks[1].slot, Slot{3});
+}
+
+TEST(ScenarioIo, ParseErrorsNameTheLine) {
+  const auto expect_error_at = [](const std::string& text, const char* needle,
+                                  int line) {
+    std::istringstream input(text);
+    try {
+      std::ignore = read_scenario(input);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const InvalidScenarioError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+          << what;
+    }
+  };
+
+  expect_error_at("garbage\n", "header", 1);
+  expect_error_at("mcs-scenario v1\nslots x\n", "expected integer", 2);
+  expect_error_at("mcs-scenario v1\nslots 3\nphone 1 2\n", "phone takes", 3);
+  expect_error_at("mcs-scenario v1\nslots 3\nphone 2 1 5\n", "inverted", 3);
+  expect_error_at("mcs-scenario v1\nslots 3\ntask 1 value abc\n",
+                  "expected amount", 3);
+  expect_error_at("mcs-scenario v1\nslots 3\nfrobnicate 1\n",
+                  "unknown keyword", 3);
+}
+
+TEST(ScenarioIo, MissingPiecesAreRejected) {
+  {
+    std::istringstream input("");
+    EXPECT_THROW(std::ignore = read_scenario(input), InvalidScenarioError);
+  }
+  {
+    std::istringstream input("mcs-scenario v1\nvalue 5\n");
+    EXPECT_THROW(std::ignore = read_scenario(input), InvalidScenarioError);
+  }
+}
+
+TEST(ScenarioIo, FuzzedInputNeverCrashes) {
+  // Random byte soup and random mutations of a valid file: the parser must
+  // either produce a valid scenario or throw a library error -- never
+  // crash or accept garbage silently.
+  Rng rng(424242);
+  std::stringstream valid;
+  write_scenario(valid, fig4_scenario());
+  const std::string valid_text = valid.str();
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    if (trial % 2 == 0) {
+      // Pure noise.
+      const auto length = static_cast<std::size_t>(rng.uniform_int(0, 120));
+      for (std::size_t k = 0; k < length; ++k) {
+        text.push_back(static_cast<char>(rng.uniform_int(9, 126)));
+      }
+    } else {
+      // Mutate a valid file: flip a few characters.
+      text = valid_text;
+      const auto flips = static_cast<int>(rng.uniform_int(1, 6));
+      for (int f = 0; f < flips && !text.empty(); ++f) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+        text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      }
+    }
+    std::istringstream input(text);
+    try {
+      const Scenario s = read_scenario(input);
+      EXPECT_NO_THROW(s.validate()) << "trial " << trial;
+    } catch (const Error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(ScenarioIo, LoadedScenarioIsValidated) {
+  // Structurally parseable but semantically invalid (task outside round).
+  std::istringstream input("mcs-scenario v1\nslots 2\ntask 5\n");
+  EXPECT_THROW(std::ignore = read_scenario(input), InvalidScenarioError);
+}
+
+}  // namespace
+}  // namespace mcs::model

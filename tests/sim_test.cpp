@@ -1,0 +1,185 @@
+// Tests for the simulation layer: determinism, aggregate sanity, sweeps,
+#include <tuple>
+// and the figure registry that drives the bench binaries.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/experiments.hpp"
+#include "sim/sweep.hpp"
+
+namespace mcs::sim {
+namespace {
+
+SimulationConfig small_config() {
+  SimulationConfig config;
+  config.workload.num_slots = 10;
+  config.workload.phone_arrival_rate = 4.0;
+  config.workload.task_arrival_rate = 2.0;
+  config.workload.mean_cost = 10.0;
+  config.workload.task_value = Money::from_units(25);
+  config.repetitions = 5;
+  config.base_seed = 11;
+  return config;
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const SimulationResult a = simulate(config, mechanisms.pointers());
+  const SimulationResult b = simulate(config, mechanisms.pointers());
+  ASSERT_EQ(a.mechanisms.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.mechanisms[0].social_welfare.mean(),
+                   b.mechanisms[0].social_welfare.mean());
+  EXPECT_DOUBLE_EQ(a.mechanisms[1].overpayment_ratio.mean(),
+                   b.mechanisms[1].overpayment_ratio.mean());
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const SimulationResult a = simulate(config, mechanisms.pointers());
+  config.base_seed = 12;
+  const SimulationResult b = simulate(config, mechanisms.pointers());
+  EXPECT_NE(a.mechanisms[0].social_welfare.mean(),
+            b.mechanisms[0].social_welfare.mean());
+}
+
+TEST(Simulator, OfflineWelfareDominatesOnline) {
+  // Per-round the offline optimum is >= the greedy welfare; so are means.
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const SimulationResult result = simulate(config, mechanisms.pointers());
+  const MechanismAggregate& online = result.by_name("online-greedy");
+  const MechanismAggregate& offline = result.by_name("offline-vcg");
+  EXPECT_GE(offline.social_welfare.mean(), online.social_welfare.mean());
+  EXPECT_EQ(online.social_welfare.count(), 5u);
+}
+
+TEST(Simulator, TracksWorkloadShape) {
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const SimulationResult result = simulate(config, mechanisms.pointers());
+  // E[phones] = 40, E[tasks] = 20 for this config; loose sanity bounds.
+  EXPECT_GT(result.phones_per_round.mean(), 10.0);
+  EXPECT_LT(result.phones_per_round.mean(), 100.0);
+  EXPECT_GT(result.tasks_per_round.mean(), 4.0);
+  EXPECT_LT(result.tasks_per_round.mean(), 60.0);
+}
+
+TEST(Simulator, ByNameThrowsForUnknownMechanism) {
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const SimulationResult result = simulate(config, mechanisms.pointers());
+  EXPECT_THROW(std::ignore = result.by_name("nonexistent"), InvalidArgumentError);
+}
+
+TEST(Simulator, RejectsBadArguments) {
+  SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  config.repetitions = 0;
+  EXPECT_THROW(simulate(config, mechanisms.pointers()), ContractViolation);
+  config = small_config();
+  EXPECT_THROW(simulate(config, {}), ContractViolation);
+  EXPECT_THROW(simulate(config, {nullptr}), ContractViolation);
+}
+
+TEST(Sweep, OnePointPerXValue) {
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  const std::vector<SweepPoint> points = run_sweep(
+      config, {5, 10, 15},
+      [](model::WorkloadConfig& w, double x) {
+        w.num_slots = static_cast<Slot::rep_type>(x);
+      },
+      mechanisms.pointers());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].x, 5.0);
+  EXPECT_DOUBLE_EQ(points[2].x, 15.0);
+  // Welfare grows with the horizon (Fig. 6 trend).
+  EXPECT_LT(points[0].result.mechanisms[1].social_welfare.mean(),
+            points[2].result.mechanisms[1].social_welfare.mean());
+}
+
+TEST(Sweep, RejectsEmptyInputs) {
+  const SimulationConfig config = small_config();
+  const StandardMechanisms mechanisms;
+  EXPECT_THROW(
+      run_sweep(config, {}, [](model::WorkloadConfig&, double) {},
+                mechanisms.pointers()),
+      ContractViolation);
+  EXPECT_THROW(run_sweep(config, {1.0}, nullptr, mechanisms.pointers()),
+               ContractViolation);
+}
+
+TEST(Figures, RegistryHasAllSixEvaluationFigures) {
+  const std::vector<FigureSpec>& figures = all_figures();
+  ASSERT_EQ(figures.size(), 6u);
+  for (const char* id : {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}) {
+    EXPECT_NO_THROW(std::ignore = figure(id)) << id;
+  }
+  EXPECT_THROW(std::ignore = figure("fig99"), InvalidArgumentError);
+  // Paper x-axes.
+  EXPECT_EQ(figure("fig6").xs, (std::vector<double>{30, 40, 50, 60, 70, 80}));
+  EXPECT_EQ(figure("fig7").xs, (std::vector<double>{4, 5, 6, 7, 8}));
+  EXPECT_EQ(figure("fig8").xs, (std::vector<double>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(figure("fig9").metric, FigureMetric::kOverpaymentRatio);
+  EXPECT_EQ(figure("fig6").metric, FigureMetric::kSocialWelfare);
+}
+
+TEST(Figures, MutatorsTouchTheRightField) {
+  model::WorkloadConfig w;
+  figure("fig6").mutate(w, 70);
+  EXPECT_EQ(w.num_slots, 70);
+  figure("fig7").mutate(w, 7.5);
+  EXPECT_DOUBLE_EQ(w.phone_arrival_rate, 7.5);
+  figure("fig11").mutate(w, 40);
+  EXPECT_DOUBLE_EQ(w.mean_cost, 40.0);
+}
+
+TEST(Figures, RunFigureOverpaymentMetric) {
+  // The sigma figures flow through the other branch of run_figure.
+  FigureSpec spec = figure("fig9");
+  spec.xs = {5, 8};
+  SimulationConfig base = small_config();
+  base.repetitions = 3;
+  const FigureSeries series = run_figure(spec, base);
+  ASSERT_EQ(series.rows.size(), 2u);
+  EXPECT_EQ(series.header[1], "online_overpayment_ratio");
+  EXPECT_EQ(series.header[2], "offline_overpayment_ratio");
+  for (const auto& row : series.rows) {
+    EXPECT_GE(std::stod(row[1]), 0.0);
+    EXPECT_NE(row[1].find('.'), std::string::npos);
+  }
+  // Numeric series are filled alongside the textual rows, and the chart
+  // renders from them.
+  ASSERT_EQ(series.xs.size(), 2u);
+  ASSERT_EQ(series.online_means.size(), 2u);
+  ASSERT_EQ(series.offline_means.size(), 2u);
+  EXPECT_FALSE(series.to_chart().empty());
+}
+
+TEST(Figures, RunFigureProducesSeriesWithCis) {
+  // A downscaled fig6: tiny rounds, few reps -- checks plumbing, not the
+  // paper's numbers (the bench binaries run the real settings).
+  FigureSpec spec = figure("fig6");
+  spec.xs = {4, 8};
+  SimulationConfig base = small_config();
+  base.repetitions = 3;
+  const FigureSeries series = run_figure(spec, base);
+  EXPECT_EQ(series.id, "fig6");
+  ASSERT_EQ(series.rows.size(), 2u);
+  ASSERT_EQ(series.header.size(), 5u);
+  EXPECT_EQ(series.header[0], "m");
+  for (const auto& row : series.rows) {
+    EXPECT_EQ(row.size(), 5u);
+  }
+  // Table rendering holds the same data.
+  const io::TextTable table = series.to_table();
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 5u);
+}
+
+}  // namespace
+}  // namespace mcs::sim

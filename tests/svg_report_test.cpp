@@ -1,0 +1,136 @@
+// Tests for the SVG chart renderer and the HTML figure report.
+#include "io/svg_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sim/html_report.hpp"
+
+namespace mcs {
+namespace {
+
+io::SvgSeries series(const std::string& name, std::vector<double> ys,
+                     const std::string& color) {
+  return io::SvgSeries{name, std::move(ys), color};
+}
+
+TEST(SvgChart, RendersAWellFormedSvgElement) {
+  const io::SvgChart chart;
+  const std::string svg = chart.render(
+      "Welfare vs m", "m", "welfare", {30, 50, 80},
+      {series("online", {100, 200, 300}, "#1f77b4"),
+       series("offline", {120, 220, 330}, "#d62728")});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polyline per series, one marker per point.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = svg.find(needle); pos != std::string::npos;
+         pos = svg.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<polyline"), 2u);
+  EXPECT_EQ(count("<circle"), 6u);
+  // Title, axis labels, legend names.
+  EXPECT_NE(svg.find("Welfare vs m"), std::string::npos);
+  EXPECT_NE(svg.find(">welfare<"), std::string::npos);
+  EXPECT_NE(svg.find(">online<"), std::string::npos);
+  EXPECT_NE(svg.find(">offline<"), std::string::npos);
+}
+
+TEST(SvgChart, EscapesMarkupInText) {
+  const io::SvgChart chart;
+  const std::string svg = chart.render("a < b & c", "x", "y", {1, 2},
+                                       {series("s<1>", {1, 2}, "black")});
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgChart, DeterministicOutput) {
+  const io::SvgChart chart;
+  const auto input = std::vector<double>{1, 2, 3};
+  const auto s = series("s", {5, 7, 6}, "green");
+  EXPECT_EQ(chart.render("t", "x", "y", input, {s}),
+            chart.render("t", "x", "y", input, {s}));
+}
+
+TEST(SvgChart, RejectsMalformedInput) {
+  const io::SvgChart chart;
+  EXPECT_THROW(std::ignore = chart.render("t", "x", "y", {},
+                                          {series("s", {}, "red")}),
+               ContractViolation);
+  EXPECT_THROW(std::ignore = chart.render("t", "x", "y", {2, 1},
+                                          {series("s", {1, 2}, "red")}),
+               ContractViolation);
+  EXPECT_THROW(std::ignore = chart.render("t", "x", "y", {1, 2},
+                                          {series("s", {1}, "red")}),
+               ContractViolation);
+  EXPECT_THROW(io::SvgChart(10, 10), ContractViolation);
+}
+
+TEST(HtmlReport, RendersEveryFigureWithChartAndTable) {
+  sim::SimulationConfig base;
+  base.workload.num_slots = 6;
+  base.workload.phone_arrival_rate = 3.0;
+  base.workload.task_arrival_rate = 1.5;
+  base.repetitions = 2;
+
+  std::vector<sim::FigureSeries> figures;
+  for (const char* id : {"fig6", "fig9"}) {
+    sim::FigureSpec spec = sim::figure(id);
+    spec.xs = {4, 8};  // downscaled
+    figures.push_back(sim::run_figure(spec, base));
+  }
+  const std::string html =
+      sim::figures_html_report(figures, "unit test & <subtitle>");
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("fig6"), std::string::npos);
+  EXPECT_NE(html.find("fig9"), std::string::npos);
+  EXPECT_NE(html.find("unit test &amp; &lt;subtitle&gt;"), std::string::npos);
+  // One chart and one data table per figure.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = html.find(needle); pos != std::string::npos;
+         pos = html.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<svg"), 2u);
+  EXPECT_EQ(count("<table>"), 2u);
+  // The sigma figure is labeled as a ratio chart.
+  EXPECT_NE(html.find(">overpayment ratio<"), std::string::npos);
+}
+
+TEST(HtmlReport, WriteToFileAndErrorPaths) {
+  sim::SimulationConfig base;
+  base.workload.num_slots = 5;
+  base.workload.phone_arrival_rate = 2.0;
+  base.workload.task_arrival_rate = 1.0;
+  base.repetitions = 1;
+  // NOTE: uses the real figure registry (full x grids) at 1 repetition;
+  // small rounds keep this fast.
+  base.workload.num_slots = 5;  // overridden per point by the m-sweeps
+
+  const std::string path = ::testing::TempDir() + "/mcs_report_test.html";
+  const int figures = sim::write_html_report(path, base);
+  EXPECT_EQ(figures, 6);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "<!DOCTYPE html>");
+  std::remove(path.c_str());
+
+  EXPECT_THROW(sim::write_html_report("/nonexistent-dir/r.html", base),
+               IoError);
+}
+
+}  // namespace
+}  // namespace mcs

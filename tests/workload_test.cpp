@@ -1,0 +1,233 @@
+// Tests for the Table-I workload generator: structural validity,
+// determinism, and statistical agreement with the configured rates.
+#include "model/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mcs::model {
+namespace {
+
+TEST(WorkloadConfig, DefaultsAreTableOne) {
+  const WorkloadConfig config;
+  EXPECT_EQ(config.num_slots, 50);
+  EXPECT_DOUBLE_EQ(config.phone_arrival_rate, 6.0);
+  EXPECT_DOUBLE_EQ(config.task_arrival_rate, 3.0);
+  EXPECT_DOUBLE_EQ(config.mean_cost, 25.0);
+  EXPECT_DOUBLE_EQ(config.mean_active_length, 5.0);
+  EXPECT_EQ(config.task_value, Money::from_units(50));
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(WorkloadConfig, ValidationRejectsBadFields) {
+  WorkloadConfig config;
+  config.num_slots = 0;
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+
+  config = WorkloadConfig{};
+  config.phone_arrival_rate = -1.0;
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+
+  config = WorkloadConfig{};
+  config.mean_cost = 0.5;
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+
+  config = WorkloadConfig{};
+  config.mean_active_length = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+}
+
+TEST(Workload, GeneratedScenarioIsStructurallyValid) {
+  const WorkloadConfig config;
+  Rng rng(1);
+  const Scenario s = generate_scenario(config, rng);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.num_slots, config.num_slots);
+  EXPECT_EQ(s.task_value, config.task_value);
+  for (const TrueProfile& p : s.phones) {
+    EXPECT_GE(p.active.begin().value(), 1);
+    EXPECT_LE(p.active.end().value(), config.num_slots);
+    EXPECT_GT(p.cost, Money{});
+  }
+}
+
+TEST(Workload, DeterministicGivenRngState) {
+  const WorkloadConfig config;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const Scenario a = generate_scenario(config, rng_a);
+  const Scenario b = generate_scenario(config, rng_b);
+  ASSERT_EQ(a.phone_count(), b.phone_count());
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (int i = 0; i < a.phone_count(); ++i) {
+    EXPECT_EQ(a.phone(PhoneId{i}), b.phone(PhoneId{i}));
+  }
+}
+
+TEST(Workload, ArrivalCountsMatchRates) {
+  WorkloadConfig config;
+  config.num_slots = 200;
+  Rng rng(7);
+  RunningStats phones;
+  RunningStats tasks;
+  for (int rep = 0; rep < 50; ++rep) {
+    const Scenario s = generate_scenario(config, rng);
+    phones.add(static_cast<double>(s.phone_count()));
+    tasks.add(static_cast<double>(s.task_count()));
+  }
+  // E[phones] = m * lambda = 1200, E[tasks] = m * lambda_t = 600.
+  EXPECT_NEAR(phones.mean(), 1200.0, 30.0);
+  EXPECT_NEAR(tasks.mean(), 600.0, 20.0);
+}
+
+TEST(Workload, UniformCostsHaveConfiguredMeanAndSupport) {
+  WorkloadConfig config;
+  config.num_slots = 100;
+  config.mean_cost = 25.0;
+  Rng rng(3);
+  RunningStats costs;
+  for (int rep = 0; rep < 30; ++rep) {
+    const Scenario s = generate_scenario(config, rng);
+    for (const TrueProfile& p : s.phones) {
+      const double c = p.cost.to_double();
+      ASSERT_GE(c, 1.0);
+      ASSERT_LE(c, 49.0);  // Uniform[1, 2*25 - 1]
+      costs.add(c);
+    }
+  }
+  EXPECT_NEAR(costs.mean(), 25.0, 0.5);
+}
+
+TEST(Workload, ActiveLengthsHaveConfiguredMean) {
+  WorkloadConfig config;
+  config.num_slots = 500;  // long round so truncation at m is negligible
+  config.mean_active_length = 5.0;
+  Rng rng(11);
+  RunningStats lengths;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Scenario s = generate_scenario(config, rng);
+    for (const TrueProfile& p : s.phones) {
+      const auto len = static_cast<double>(p.active.length());
+      ASSERT_GE(len, 1.0);
+      ASSERT_LE(len, 9.0);  // Uniform[1, 2*5 - 1]
+      lengths.add(len);
+    }
+  }
+  EXPECT_NEAR(lengths.mean(), 5.0, 0.15);
+}
+
+TEST(Workload, WindowsTruncatedAtRoundEnd) {
+  WorkloadConfig config;
+  config.num_slots = 5;
+  config.mean_active_length = 10.0;  // long windows forced to truncate
+  Rng rng(13);
+  const Scenario s = generate_scenario(config, rng);
+  for (const TrueProfile& p : s.phones) {
+    EXPECT_LE(p.active.end().value(), 5);
+  }
+}
+
+TEST(Workload, NormalCostsRespectTruncation) {
+  WorkloadConfig config;
+  config.cost_distribution = CostDistribution::kNormal;
+  config.num_slots = 100;
+  Rng rng(17);
+  RunningStats costs;
+  for (int rep = 0; rep < 20; ++rep) {
+    const Scenario s = generate_scenario(config, rng);
+    for (const TrueProfile& p : s.phones) {
+      const double c = p.cost.to_double();
+      ASSERT_GE(c, 0.5);
+      ASSERT_LE(c, 50.0);
+      costs.add(c);
+    }
+  }
+  EXPECT_NEAR(costs.mean(), 25.0, 1.0);
+}
+
+TEST(Workload, ExponentialCostsPositiveAndCapped) {
+  WorkloadConfig config;
+  config.cost_distribution = CostDistribution::kExponential;
+  config.num_slots = 100;
+  Rng rng(19);
+  const Scenario s = generate_scenario(config, rng);
+  ASSERT_GT(s.phone_count(), 0);
+  for (const TrueProfile& p : s.phones) {
+    EXPECT_GT(p.cost.to_double(), 0.0);
+    EXPECT_LE(p.cost.to_double(), 100.0);
+  }
+}
+
+TEST(Workload, RateProfilesStretchAcrossTheRound) {
+  WorkloadConfig config;
+  config.num_slots = 10;
+  config.phone_arrival_rate = 2.0;
+  config.phone_rate_profile = {1.0, 3.0};  // first half x1, second half x3
+  EXPECT_DOUBLE_EQ(config.phone_rate_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(config.phone_rate_at(5), 2.0);
+  EXPECT_DOUBLE_EQ(config.phone_rate_at(6), 6.0);
+  EXPECT_DOUBLE_EQ(config.phone_rate_at(10), 6.0);
+  // Task profile independent; empty = homogeneous.
+  EXPECT_DOUBLE_EQ(config.task_rate_at(7), config.task_arrival_rate);
+}
+
+TEST(Workload, ZeroMultiplierSilencesSlots) {
+  WorkloadConfig config;
+  config.num_slots = 12;
+  config.phone_arrival_rate = 8.0;
+  config.task_arrival_rate = 0.0;
+  config.phone_rate_profile = {0.0, 1.0, 0.0};  // only the middle third
+  Rng rng(29);
+  const Scenario s = generate_scenario(config, rng);
+  ASSERT_GT(s.phone_count(), 0);
+  for (const TrueProfile& p : s.phones) {
+    EXPECT_GE(p.active.begin().value(), 5);
+    EXPECT_LE(p.active.begin().value(), 8);
+  }
+}
+
+TEST(Workload, ProfiledArrivalCountsMatchExpectation) {
+  WorkloadConfig config;
+  config.num_slots = 100;
+  config.phone_arrival_rate = 4.0;
+  config.phone_rate_profile = {0.5, 1.5};  // mean multiplier 1.0
+  Rng rng(31);
+  RunningStats phones;
+  for (int rep = 0; rep < 40; ++rep) {
+    phones.add(static_cast<double>(generate_scenario(config, rng).phone_count()));
+  }
+  EXPECT_NEAR(phones.mean(), 400.0, 15.0);
+}
+
+TEST(Workload, ProfileValidation) {
+  WorkloadConfig config;
+  config.phone_rate_profile = {1.0, -0.5};
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+  config = WorkloadConfig{};
+  config.task_rate_profile = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(config.validate(), InvalidArgumentError);
+}
+
+TEST(Workload, ZeroRatesYieldEmptyScenario) {
+  WorkloadConfig config;
+  config.phone_arrival_rate = 0.0;
+  config.task_arrival_rate = 0.0;
+  Rng rng(23);
+  const Scenario s = generate_scenario(config, rng);
+  EXPECT_EQ(s.phone_count(), 0);
+  EXPECT_EQ(s.task_count(), 0);
+}
+
+TEST(Workload, CostDistributionNames) {
+  EXPECT_EQ(to_string(CostDistribution::kUniform), "uniform");
+  EXPECT_EQ(to_string(CostDistribution::kNormal), "normal");
+  EXPECT_EQ(to_string(CostDistribution::kExponential), "exponential");
+}
+
+}  // namespace
+}  // namespace mcs::model

@@ -1,0 +1,275 @@
+// mcs_cli -- the command-line face of the library.
+//
+//   mcs_cli generate --out campaign.mcs --slots 50 --lambda 6 ...
+//   mcs_cli run      --file campaign.mcs --mechanism online [--reserve 40]
+//   mcs_cli audit    --file campaign.mcs --mechanism second-price
+//   mcs_cli figure   --id fig6 [--reps 50] [--csv fig6.csv]
+//
+// generate draws a Table-I-style round and saves it as a plain-text
+// scenario file; run executes a mechanism on a scenario file and prints
+// the outcome; audit runs the truthfulness/IR deviation grids; figure
+// regenerates one of the paper's evaluation figures.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include <fstream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/report_json.hpp"
+#include "analysis/rationality.hpp"
+#include "analysis/truthfulness.hpp"
+#include "auction/batched_matching.hpp"
+#include "auction/offline_vcg.hpp"
+#include "auction/online_greedy.hpp"
+#include "auction/second_price.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "model/scenario_io.hpp"
+#include "model/workload.hpp"
+#include "sim/experiments.hpp"
+#include "sim/html_report.hpp"
+
+namespace {
+
+using namespace mcs;
+
+void print_usage() {
+  std::cout <<
+      R"(mcs_cli -- truthful crowdsourcing auctions (ICDCS 2014 reproduction)
+
+Subcommands:
+  generate   draw a random round and save it as a scenario file
+  run        run a mechanism on a scenario file
+  audit      truthfulness + individual-rationality audit on a scenario file
+  figure     regenerate one of the paper's evaluation figures
+  report     all figures as one self-contained HTML file
+
+Run 'mcs_cli <subcommand> --help' for the flags of each subcommand.
+)";
+}
+
+std::unique_ptr<auction::Mechanism> make_mechanism(const std::string& name,
+                                                   double reserve,
+                                                   bool profitable_only,
+                                                   std::int64_t batch) {
+  auction::OnlineGreedyConfig online_config;
+  online_config.allocate_only_profitable = profitable_only;
+  if (reserve > 0.0) online_config.reserve_price = Money::from_double(reserve);
+
+  if (name == "online") {
+    return std::make_unique<auction::OnlineGreedyMechanism>(online_config);
+  }
+  if (name == "offline") {
+    return std::make_unique<auction::OfflineVcgMechanism>();
+  }
+  if (name == "second-price") {
+    auction::SecondPriceConfig config;
+    config.allocation = online_config;
+    return std::make_unique<auction::SecondPriceBaseline>(config);
+  }
+  if (name == "batched") {
+    return std::make_unique<auction::BatchedMatchingMechanism>(
+        auction::BatchedMatchingConfig{static_cast<Slot::rep_type>(batch)});
+  }
+  throw InvalidArgumentError(
+      "unknown mechanism '" + name +
+      "' (expected online, offline, second-price, or batched)");
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  io::CliParser cli("Draws one auction round and saves it as a scenario file.");
+  cli.add_string("out", "scenario.mcs", "output path");
+  cli.add_int("slots", 50, "slots per round (m)");
+  cli.add_double("lambda", 6.0, "smartphone arrival rate per slot");
+  cli.add_double("lambda-t", 3.0, "task arrival rate per slot");
+  cli.add_double("mean-cost", 25.0, "average real cost");
+  cli.add_double("mean-active", 5.0, "average active-window length");
+  cli.add_double("value", 50.0, "task value nu");
+  cli.add_string("distribution", "uniform", "cost family: uniform|normal|exponential");
+  cli.add_int("seed", 42, "RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  model::WorkloadConfig workload;
+  workload.num_slots = static_cast<Slot::rep_type>(cli.get_int("slots"));
+  workload.phone_arrival_rate = cli.get_double("lambda");
+  workload.task_arrival_rate = cli.get_double("lambda-t");
+  workload.mean_cost = cli.get_double("mean-cost");
+  workload.mean_active_length = cli.get_double("mean-active");
+  workload.task_value = Money::from_double(cli.get_double("value"));
+  const std::string family = cli.get_string("distribution");
+  if (family == "uniform") {
+    workload.cost_distribution = model::CostDistribution::kUniform;
+  } else if (family == "normal") {
+    workload.cost_distribution = model::CostDistribution::kNormal;
+  } else if (family == "exponential") {
+    workload.cost_distribution = model::CostDistribution::kExponential;
+  } else {
+    throw InvalidArgumentError("unknown cost distribution: " + family);
+  }
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const model::Scenario scenario = model::generate_scenario(workload, rng);
+  model::save_scenario(cli.get_string("out"), scenario);
+  std::cout << "wrote " << cli.get_string("out") << ": "
+            << scenario.phone_count() << " phones, " << scenario.task_count()
+            << " tasks over " << scenario.num_slots << " slots\n";
+  return 0;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  io::CliParser cli("Runs a mechanism on a scenario file (truthful bids).");
+  cli.add_string("file", "scenario.mcs", "scenario file");
+  cli.add_string("mechanism", "online",
+                 "online | offline | second-price | batched");
+  cli.add_double("reserve", 0.0, "online reserve price (0 = none)");
+  cli.add_switch("profitable-only", "skip bids above the task value");
+  cli.add_int("batch", 5, "batch size for --mechanism batched");
+  cli.add_switch("allocation", "also print the per-task allocation");
+  cli.add_string("json", "", "also write a machine-readable round report");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const model::Scenario scenario = model::load_scenario(cli.get_string("file"));
+  const auto mechanism = make_mechanism(
+      cli.get_string("mechanism"), cli.get_double("reserve"),
+      cli.get_switch("profitable-only"), cli.get_int("batch"));
+
+  const model::BidProfile bids = scenario.truthful_bids();
+  const auction::Outcome outcome = mechanism->run(scenario, bids);
+  const analysis::RoundMetrics metrics =
+      analysis::compute_metrics(scenario, bids, outcome);
+
+  std::cout << mechanism->name() << " on " << cli.get_string("file") << ":\n"
+            << analysis::describe(metrics);
+  if (const std::string json_path = cli.get_string("json");
+      !json_path.empty()) {
+    std::ofstream json_file(json_path);
+    if (!json_file) throw IoError("cannot open JSON report file: " + json_path);
+    analysis::write_round_report_json(json_file, scenario, bids, outcome,
+                                      mechanism->name());
+    std::cout << "JSON report written to " << json_path << '\n';
+  }
+  if (cli.get_switch("allocation")) {
+    io::TextTable table({"task", "slot", "phone", "payment"});
+    for (const model::Task& task : scenario.tasks) {
+      const auto phone = outcome.allocation.phone_for(task.id);
+      table.add_row(
+          {std::to_string(task.id.value()), std::to_string(task.slot.value()),
+           phone ? std::to_string(phone->value()) : "-",
+           phone ? outcome.payments[static_cast<std::size_t>(phone->value())]
+                       .to_string()
+                 : "-"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_audit(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Runs the truthfulness and individual-rationality audits on a "
+      "scenario file.");
+  cli.add_string("file", "scenario.mcs", "scenario file");
+  cli.add_string("mechanism", "online",
+                 "online | offline | second-price | batched");
+  cli.add_double("reserve", 0.0, "online reserve price (0 = none)");
+  cli.add_switch("profitable-only", "skip bids above the task value");
+  cli.add_int("batch", 5, "batch size for --mechanism batched");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const model::Scenario scenario = model::load_scenario(cli.get_string("file"));
+  const auto mechanism = make_mechanism(
+      cli.get_string("mechanism"), cli.get_double("reserve"),
+      cli.get_switch("profitable-only"), cli.get_int("batch"));
+
+  const analysis::TruthfulnessReport truth =
+      analysis::audit_truthfulness(*mechanism, scenario);
+  const analysis::RationalityReport rationality =
+      analysis::audit_individual_rationality(*mechanism, scenario);
+  std::cout << mechanism->name() << " on " << cli.get_string("file") << ":\n"
+            << "  truthfulness: " << truth.summary() << '\n'
+            << "  rationality:  " << rationality.summary() << '\n';
+  if (!truth.truthful()) {
+    const analysis::DeviationViolation& worst =
+        *std::max_element(truth.violations.begin(), truth.violations.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.gain() < b.gain();
+                          });
+    std::cout << "  worst manipulation: phone " << worst.phone << " reports "
+              << worst.deviant_bid << " and gains " << worst.gain() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Regenerates ALL evaluation figures and writes them as one "
+      "self-contained HTML report (inline SVG charts + data tables).");
+  cli.add_string("out", "report.html", "output HTML path");
+  cli.add_int("reps", 50, "repetitions per sweep point");
+  cli.add_int("seed", 42, "base RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::SimulationConfig base;
+  base.repetitions = static_cast<int>(cli.get_int("reps"));
+  base.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int figures = sim::write_html_report(cli.get_string("out"), base);
+  std::cout << "wrote " << figures << " figures to " << cli.get_string("out")
+            << '\n';
+  return 0;
+}
+
+int cmd_figure(int argc, const char* const* argv) {
+  io::CliParser cli("Regenerates one of the paper's evaluation figures.");
+  cli.add_string("id", "fig6", "fig6 | fig7 | fig8 | fig9 | fig10 | fig11");
+  cli.add_int("reps", 50, "repetitions per sweep point");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_string("csv", "", "also write the series as CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sim::FigureSpec& spec = sim::figure(cli.get_string("id"));
+  sim::SimulationConfig base;
+  base.repetitions = static_cast<int>(cli.get_int("reps"));
+  base.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << spec.id << ": " << spec.title << '\n';
+  const sim::FigureSeries series = sim::run_figure(spec, base);
+  series.to_table().print(std::cout);
+  std::cout << '\n' << series.to_chart();
+  if (const std::string path = cli.get_string("csv"); !path.empty()) {
+    io::write_csv_file(path, series.header, series.rows);
+    std::cout << "series written to " << path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string subcommand = argv[1];
+  try {
+    if (subcommand == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (subcommand == "run") return cmd_run(argc - 1, argv + 1);
+    if (subcommand == "audit") return cmd_audit(argc - 1, argv + 1);
+    if (subcommand == "figure") return cmd_figure(argc - 1, argv + 1);
+    if (subcommand == "report") return cmd_report(argc - 1, argv + 1);
+    if (subcommand == "--help" || subcommand == "help") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown subcommand: " << subcommand << "\n\n";
+    print_usage();
+    return 2;
+  } catch (const mcs::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+# CLI smoke test: generate a small scenario, run both mechanisms on it,
+# audit the online mechanism (must pass -> exit 0) and the second-price
+# baseline is *not* required to pass here (random small rounds may or may
+# not expose its manipulation, so we only require it to execute).
+set(SCENARIO ${WORKDIR}/cli_smoke_scenario.mcs)
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "mcs_cli ${ARGN} failed (${code}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_cli(generate --out ${SCENARIO} --slots 8 --lambda 3 --lambda-t 1.5
+        --mean-cost 10 --value 25 --seed 7)
+if(NOT EXISTS ${SCENARIO})
+  message(FATAL_ERROR "generate did not write ${SCENARIO}")
+endif()
+
+run_cli(run --file ${SCENARIO} --mechanism online --allocation)
+run_cli(run --file ${SCENARIO} --mechanism offline)
+run_cli(run --file ${SCENARIO} --mechanism batched --batch 3)
+run_cli(run --file ${SCENARIO} --mechanism online --reserve 24
+        --profitable-only)
+
+run_cli(run --file ${SCENARIO} --mechanism online --json ${WORKDIR}/cli_smoke_report.json)
+if(NOT EXISTS ${WORKDIR}/cli_smoke_report.json)
+  message(FATAL_ERROR "run --json did not write the report")
+endif()
+file(REMOVE ${WORKDIR}/cli_smoke_report.json)
+
+run_cli(audit --file ${SCENARIO} --mechanism offline)
+
+file(REMOVE ${SCENARIO})
+
+# figure subcommand at tiny rep count (plumbing only).
+run_cli(figure --id fig7 --reps 2 --csv ${WORKDIR}/cli_smoke_fig7.csv)
+if(NOT EXISTS ${WORKDIR}/cli_smoke_fig7.csv)
+  message(FATAL_ERROR "figure --csv did not write the series")
+endif()
+file(REMOVE ${WORKDIR}/cli_smoke_fig7.csv)
+
+# report subcommand at tiny rep count.
+run_cli(report --out ${WORKDIR}/cli_smoke_report.html --reps 2)
+if(NOT EXISTS ${WORKDIR}/cli_smoke_report.html)
+  message(FATAL_ERROR "report did not write the HTML file")
+endif()
+file(REMOVE ${WORKDIR}/cli_smoke_report.html)
