@@ -11,6 +11,7 @@
 #include "matching/hungarian.hpp"
 #include "matching/auction_algorithm.hpp"
 #include "matching/min_cost_flow.hpp"
+#include "telemetry_main.hpp"
 
 namespace {
 
@@ -84,3 +85,7 @@ void BM_AuctionAlgorithmMatching(benchmark::State& state) {
 BENCHMARK(BM_AuctionAlgorithmMatching)->RangeMultiplier(2)->Range(8, 64);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mcs_bench::telemetry_main(argc, argv, "perf_matching");
+}

@@ -8,6 +8,7 @@
 #include "auction/online_greedy.hpp"
 #include "common/rng.hpp"
 #include "model/workload.hpp"
+#include "telemetry_main.hpp"
 
 namespace {
 
@@ -70,3 +71,7 @@ void BM_OnlineAllocationOnly(benchmark::State& state) {
 BENCHMARK(BM_OnlineAllocationOnly)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mcs_bench::telemetry_main(argc, argv, "perf_mechanisms");
+}

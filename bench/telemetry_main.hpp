@@ -1,0 +1,80 @@
+// Shared main() for the perf_* google-benchmark binaries.
+//
+// Replaces benchmark::benchmark_main so the perf benches can emit a
+// machine-readable telemetry report next to the human-oriented console
+// output: when --telemetry-out=<path> is passed (or MCS_BENCH_TELEMETRY_OUT
+// is set) a MetricsRegistry + TraceCollector are installed for the run and
+// the work counters recorded by the instrumented library code (Hungarian
+// iterations, SPFA pops, critical-value probes, ...) are written as one
+// "mcs.telemetry.v1" JSON object. Without the flag the registry stays
+// uninstalled, so default benchmark numbers measure the telemetry-off fast
+// path. scripts/collect_bench.sh merges the per-binary reports into
+// BENCH_telemetry.json at the repo root.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mcs_bench {
+
+inline int telemetry_main(int argc, char** argv, std::string_view bench_name) {
+  // Extract --telemetry-out=<path> before google-benchmark sees (and
+  // rejects) the unknown flag.
+  std::string out_path;
+  if (const char* env = std::getenv("MCS_BENCH_TELEMETRY_OUT")) {
+    out_path = env;
+  }
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--telemetry-out=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      out_path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  // Registry only, no TraceCollector: the benchmark loop would append one
+  // span tree per iteration (unbounded growth); the aggregate
+  // span.<name>_us histograms already capture the phase timings.
+  mcs::obs::MetricsRegistry registry;
+  std::optional<mcs::obs::ScopedRegistry> registry_guard;
+  if (!out_path.empty()) {
+    registry_guard.emplace(&registry);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    const mcs::obs::ScopedTimer timer("bench.total_duration_us");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+
+  registry_guard.reset();
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open telemetry output: " << out_path << '\n';
+      return 1;
+    }
+    mcs::obs::write_metrics_json(out, registry, nullptr,
+                                 {{"tool", std::string(bench_name)}});
+    std::cerr << "telemetry written to " << out_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace mcs_bench

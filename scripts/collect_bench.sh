@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the perf_* microbenches with telemetry enabled and merges their
+# per-binary reports into one BENCH_telemetry.json at the repo root, so
+# future changes have a machine-readable perf baseline to regress against.
+#
+# Usage: scripts/collect_bench.sh [build-dir] [extra benchmark args...]
+#   e.g. scripts/collect_bench.sh build --benchmark_min_time=0.05
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+BENCHES=(perf_matching perf_mechanisms)
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin missing or not executable" >&2
+    exit 1
+  fi
+  echo "##### $bench #####"
+  "$bin" --telemetry-out="$TMP_DIR/$bench.json" "$@"
+done
+
+# Merge: one wrapper object with each binary's mcs.telemetry.v1 report as
+# a field. Plain concatenation keeps this dependency-free.
+OUT=BENCH_telemetry.json
+{
+  printf '{"schema":"mcs.bench_telemetry.v1"'
+  for bench in "${BENCHES[@]}"; do
+    printf ',"%s":' "$bench"
+    # Each report is a single JSON object followed by a newline.
+    tr -d '\n' < "$TMP_DIR/$bench.json"
+  done
+  printf '}\n'
+} > "$OUT"
+
+echo
+echo "Merged telemetry written to $OUT"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcs::auction {
 
@@ -11,21 +12,29 @@ std::optional<Money> bisect_critical_value(const WinsWithCost& wins,
                                            std::int64_t tolerance_micros) {
   MCS_EXPECTS(tolerance_micros >= 1, "tolerance must be >= 1 micro");
   MCS_EXPECTS(!upper_bound.is_negative(), "upper_bound must be >= 0");
+  obs::count("auction.critical_value.searches");
+  std::int64_t probes = 1;  // the wins(0) precondition probe below
   MCS_EXPECTS(wins(Money{}), "bisect_critical_value requires wins(0)");
 
-  if (wins(upper_bound)) return std::nullopt;  // unbounded in probed range
+  ++probes;
+  if (wins(upper_bound)) {
+    obs::count("auction.critical_value.probes", probes);
+    return std::nullopt;  // unbounded in probed range
+  }
 
   // Invariant: wins at `lo`, loses at `hi`.
   std::int64_t lo = 0;
   std::int64_t hi = upper_bound.micros();
   while (hi - lo > tolerance_micros) {
     const std::int64_t mid = lo + (hi - lo) / 2;
+    ++probes;
     if (wins(Money::from_micros(mid))) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
+  obs::count("auction.critical_value.probes", probes);
   // `lo` is the largest probed winning cost; with tolerance 1 micro the
   // true threshold lies in (lo, lo + 1 micro], and for mechanisms whose
   // thresholds are exact bid values (the greedy rule) `hi` equals it.

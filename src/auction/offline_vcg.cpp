@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/trace.hpp"
 
 namespace mcs::auction {
 
@@ -30,22 +31,28 @@ Money OfflineVcgMechanism::optimal_claimed_welfare(
 
 Outcome OfflineVcgMechanism::run(const model::Scenario& scenario,
                                  const model::BidProfile& bids) const {
+  const obs::TraceSpan span("offline_vcg.run");
   scenario.validate();
-  const matching::WeightMatrix graph = build_graph(scenario, bids);
-  matching::MaxWeightMatcher matcher(graph);
-  const matching::Matching& matching = matcher.solve();
-  const Money welfare_all = matcher.total_weight();  // omega*(B)
 
   Outcome outcome;
   outcome.allocation = Allocation(scenario.task_count(), scenario.phone_count());
   outcome.payments.assign(scenario.phones.size(), Money{});
 
-  for (int t = 0; t < scenario.task_count(); ++t) {
-    if (const auto col = matching.row_to_col[static_cast<std::size_t>(t)]) {
-      outcome.allocation.assign(TaskId{t}, PhoneId{*col});
+  const matching::WeightMatrix graph = build_graph(scenario, bids);
+  matching::MaxWeightMatcher matcher(graph);
+  Money welfare_all;  // omega*(B)
+  {
+    const obs::TraceSpan matching_span("offline_vcg.matching");
+    const matching::Matching& matching = matcher.solve();
+    welfare_all = matcher.total_weight();
+    for (int t = 0; t < scenario.task_count(); ++t) {
+      if (const auto col = matching.row_to_col[static_cast<std::size_t>(t)]) {
+        outcome.allocation.assign(TaskId{t}, PhoneId{*col});
+      }
     }
   }
 
+  const obs::TraceSpan payment_span("offline_vcg.payments");
   for (const PhoneId winner : outcome.allocation.winners()) {
     const int col = winner.value();
     const Money welfare_without =  // omega*(B_{-i})

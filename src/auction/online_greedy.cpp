@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcs::auction {
 
@@ -33,6 +35,19 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
   const Slot::rep_type horizon =
       last_slot == 0 ? scenario.num_slots
                      : std::min(last_slot, scenario.num_slots);
+
+  // Per-slot work counters, accumulated locally and published once at the
+  // end of the run (one registry access instead of one per slot).
+  obs::MetricsRegistry* const registry = obs::current_registry();
+  static const std::vector<double> kPoolBuckets = {0,  1,   2,   5,   10,  20,
+                                                   50, 100, 200, 500, 1000};
+  obs::Histogram* const pool_hist =
+      registry != nullptr
+          ? &registry->histogram("auction.greedy.pool_size", &kPoolBuckets)
+          : nullptr;
+  std::int64_t pool_insertions = 0;
+  std::int64_t tasks_assigned = 0;
+  std::int64_t tasks_unserved = 0;
 
   // Arrival index: phones grouped by reported arrival slot. (Under
   // allocate_only_profitable, eligibility is checked per task at
@@ -68,6 +83,7 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
     for (const int phone : arrivals[static_cast<std::size_t>(t)]) {
       pool.insert(PoolEntry{
           bids[static_cast<std::size_t>(phone)].claimed_cost.micros(), phone});
+      ++pool_insertions;
     }
     // Drop departed bids (line 3, second half). Lazy would suffice for
     // allocation, but the recorded pool must match Fig. 4's "dynamic pool".
@@ -124,10 +140,23 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
       record.winners.push_back(PhoneId{chosen.phone});
     }
     record.unallocated_tasks = static_cast<int>(record.unserved.size());
+    tasks_assigned += static_cast<std::int64_t>(record.winners.size());
+    tasks_unserved += static_cast<std::int64_t>(record.unserved.size());
+    if (pool_hist != nullptr) {
+      pool_hist->observe(static_cast<double>(pool.size()));
+    }
 
     run.slots.push_back(std::move(record));
   }
 
+  if (registry != nullptr) {
+    registry->counter("auction.greedy.allocation_runs").add(1);
+    registry->counter("auction.greedy.slots_processed")
+        .add(static_cast<std::int64_t>(horizon));
+    registry->counter("auction.greedy.pool_insertions").add(pool_insertions);
+    registry->counter("auction.greedy.tasks_assigned").add(tasks_assigned);
+    registry->counter("auction.greedy.tasks_unserved").add(tasks_unserved);
+  }
   return run;
 }
 
@@ -140,6 +169,9 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
 
   // Counterfactual run without B_i up to the winner's reported departure
   // (Algorithm 2 re-allocates from slot 1: removing i can change history).
+  // Each counterfactual evaluation is one probe of i's critical value --
+  // the over-time analogue of a bisection probe (docs/observability.md).
+  obs::count("auction.critical_value.probes");
   const GreedyRun without =
       run_greedy_allocation(scenario, bids, config_, winner, depart);
 
@@ -178,17 +210,25 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
 
 Outcome OnlineGreedyMechanism::run(const model::Scenario& scenario,
                                    const model::BidProfile& bids) const {
+  const obs::TraceSpan span("online_greedy.run");
   scenario.validate();
-  GreedyRun greedy = run_greedy_allocation(scenario, bids, config_);
 
   Outcome outcome;
+  GreedyRun greedy;
+  {
+    const obs::TraceSpan allocation_span("online_greedy.allocation");
+    greedy = run_greedy_allocation(scenario, bids, config_);
+  }
   outcome.allocation = std::move(greedy.allocation);
   outcome.payments.assign(scenario.phones.size(), Money{});
 
-  for (const GreedySlotRecord& record : greedy.slots) {
-    for (const PhoneId winner : record.winners) {
-      outcome.payments[static_cast<std::size_t>(winner.value())] =
-          compute_payment(scenario, bids, winner, record.slot);
+  {
+    const obs::TraceSpan payment_span("online_greedy.payments");
+    for (const GreedySlotRecord& record : greedy.slots) {
+      for (const PhoneId winner : record.winners) {
+        outcome.payments[static_cast<std::size_t>(winner.value())] =
+            compute_payment(scenario, bids, winner, record.slot);
+      }
     }
   }
 

@@ -1,5 +1,10 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace mcs {
@@ -20,6 +25,40 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char ch : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Seconds since the logger was first touched (monotonic clock).
+double uptime_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Small dense id for the calling thread (1 = first thread that logged).
+int thread_ordinal() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
@@ -27,8 +66,20 @@ Logger& Logger::instance() {
 
 Logger::Logger()
     : sink_([](LogLevel level, std::string_view message) {
-        std::cerr << to_string(level) << ' ' << message << '\n';
-      }) {}
+        // "[+12.345s T1] LEVEL message" -- monotonic uptime + thread id so
+        // interleaved bench/parallel-sim output stays attributable.
+        char prefix[48];
+        std::snprintf(prefix, sizeof prefix, "[+%.3fs T%d] ",
+                      uptime_seconds(), thread_ordinal());
+        std::cerr << prefix << to_string(level) << ' ' << message << '\n';
+      }) {
+  // MCS_LOG_LEVEL=debug|info|warn|error|off raises or lowers verbosity
+  // without code changes (benches, CLI, CI). Unknown values are ignored:
+  // a logger cannot log its own misconfiguration yet.
+  if (const char* env = std::getenv("MCS_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) level_ = *level;
+  }
+}
 
 void Logger::set_sink(Sink sink) {
   if (sink) sink_ = std::move(sink);

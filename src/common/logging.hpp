@@ -3,10 +3,15 @@
 // The simulators log progress at Info and algorithmic traces at Debug. The
 // sink and threshold are process-wide but mutable only through the explicit
 // Logger interface (so tests can capture output); default is stderr at Warn,
-// which keeps bench/test output clean.
+// which keeps bench/test output clean. The default sink prefixes each line
+// with a monotonic uptime timestamp and a dense thread ordinal
+// ("[+1.234s T2] WARN ..."), and the initial threshold can be overridden
+// without code changes via the MCS_LOG_LEVEL environment variable
+// (debug|info|warn|error|off).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,6 +21,11 @@ namespace mcs {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Parses a level name (case-insensitive: "debug", "info", "warn"/"warning",
+/// "error", "off"/"none"); nullopt for anything else. Used for the
+/// MCS_LOG_LEVEL environment variable and exposed for CLI flag parsing.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
 
 class Logger {
  public:

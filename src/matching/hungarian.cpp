@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcs::matching {
 
@@ -40,7 +41,9 @@ void MinCostAssigner::augment_row(DualState& s, int row1,
 
   s.p[0] = row1;
   int j0 = 0;
+  std::int64_t iterations = 0;
   do {
+    ++iterations;
     used[static_cast<std::size_t>(j0)] = 1;
     const int i0 = s.p[static_cast<std::size_t>(j0)];
     std::int64_t delta = kInf;
@@ -75,6 +78,11 @@ void MinCostAssigner::augment_row(DualState& s, int row1,
     j0 = j1;
   } while (s.p[static_cast<std::size_t>(j0)] != 0);
 
+  if (obs::MetricsRegistry* registry = obs::current_registry()) {
+    registry->counter("matching.hungarian.iterations").add(iterations);
+    registry->counter("matching.hungarian.augmenting_paths").add(1);
+  }
+
   // Unwind the alternating path, flipping matched/unmatched edges.
   do {
     const int j1 = way[static_cast<std::size_t>(j0)];
@@ -96,6 +104,7 @@ std::int64_t MinCostAssigner::assignment_cost(const DualState& s,
 
 void MinCostAssigner::solve() {
   if (solved_) return;
+  obs::count("matching.hungarian.solves");
   state_.u.assign(static_cast<std::size_t>(rows_) + 1, 0);
   state_.v.assign(static_cast<std::size_t>(cols_) + 1, 0);
   state_.p.assign(static_cast<std::size_t>(cols_) + 1, 0);
@@ -145,6 +154,7 @@ std::int64_t MinCostAssigner::total_cost_excluding_column(int col) const {
   // The optimal duals remain feasible for the reduced instance, and
   // complementary slackness holds for every remaining matched pair, so a
   // single augmentation of the displaced row restores optimality.
+  obs::count("matching.hungarian.incremental_queries");
   DualState s = state_;
   s.p[static_cast<std::size_t>(col1)] = 0;
   augment_row(s, displaced_row, col1);

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcs::matching {
 
@@ -39,6 +40,10 @@ MinCostFlow::Result MinCostFlow::solve(int source, int sink,
   Result result;
   const auto n = static_cast<std::size_t>(node_count());
 
+  obs::count("matching.flow.solves");
+  std::int64_t augmenting_paths = 0;
+  std::int64_t spfa_pops = 0;
+
   while (result.flow < flow_limit) {
     // SPFA shortest path on residual costs (handles negative arc costs).
     std::vector<std::int64_t> dist(n, kInf);
@@ -52,6 +57,7 @@ MinCostFlow::Result MinCostFlow::solve(int source, int sink,
     while (!queue.empty()) {
       const int node = queue.front();
       queue.pop_front();
+      ++spfa_pops;
       in_queue[static_cast<std::size_t>(node)] = 0;
       for (const int arc_id : head_[static_cast<std::size_t>(node)]) {
         const Arc& arc = arcs_[static_cast<std::size_t>(arc_id)];
@@ -97,6 +103,11 @@ MinCostFlow::Result MinCostFlow::solve(int source, int sink,
 
     result.flow += push;
     result.cost += push * dist[static_cast<std::size_t>(sink)];
+    ++augmenting_paths;
+  }
+  if (obs::MetricsRegistry* registry = obs::current_registry()) {
+    registry->counter("matching.flow.augmenting_paths").add(augmenting_paths);
+    registry->counter("matching.flow.spfa_pops").add(spfa_pops);
   }
   return result;
 }

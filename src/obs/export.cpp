@@ -1,0 +1,168 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+
+namespace mcs::obs {
+
+namespace {
+
+std::string format_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mcs_";
+  out.reserve(name.size() + 4);
+  for (const char ch : name) {
+    out.push_back((ch == '.' || ch == '-') ? '_' : ch);
+  }
+  return out;
+}
+
+void write_histogram_json(io::JsonWriter& json,
+                          const MetricsSnapshot::HistogramData& data) {
+  json.begin_object();
+  json.field("count", data.count);
+  json.field("sum", data.sum);
+  if (data.count > 0) {
+    json.field("min", data.min);
+    json.field("max", data.max);
+  }
+  json.key("buckets").begin_array();
+  for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+    json.begin_object();
+    if (i < data.boundaries.size()) {
+      json.field("le", data.boundaries[i]);
+    } else {
+      json.field("le", "+Inf");
+    }
+    json.field("count", data.bucket_counts[i]);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry,
+                        const TraceCollector* trace,
+                        const std::map<std::string, std::string>& meta) {
+  const MetricsSnapshot snap = registry.snapshot();
+  io::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "mcs.telemetry.v1");
+  if (!meta.empty()) {
+    json.key("meta").begin_object();
+    for (const auto& [key, value] : meta) json.field(key, value);
+    json.end_object();
+  }
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) json.field(name, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : snap.gauges) json.field(name, value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, data] : snap.histograms) {
+    json.key(name);
+    write_histogram_json(json, data);
+  }
+  json.end_object();
+  if (trace != nullptr) {
+    json.key("trace").begin_array();
+    for (const SpanRecord& span : trace->spans()) {
+      json.begin_object();
+      json.field("name", span.name);
+      json.field("depth", static_cast<std::int64_t>(span.depth));
+      json.field("parent", static_cast<std::int64_t>(span.parent));
+      json.field("start_us", span.start_us);
+      json.field("duration_us", span.duration_us);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  os << '\n';
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  io::CsvWriter csv(os);
+  csv.set_header({"kind", "name", "field", "value"});
+  for (const auto& [name, value] : snap.counters) {
+    csv.write_row({"counter", name, "value", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    csv.write_row({"gauge", name, "value", format_number(value)});
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    csv.write_row({"histogram", name, "count", std::to_string(data.count)});
+    csv.write_row({"histogram", name, "sum", format_number(data.sum)});
+    if (data.count > 0) {
+      csv.write_row({"histogram", name, "min", format_number(data.min)});
+      csv.write_row({"histogram", name, "max", format_number(data.max)});
+    }
+    for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      const std::string edge = i < data.boundaries.size()
+                                   ? format_number(data.boundaries[i])
+                                   : std::string("+Inf");
+      csv.write_row({"histogram", name, "le=" + edge,
+                     std::to_string(data.bucket_counts[i])});
+    }
+  }
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    const std::string id = prometheus_name(name);
+    os << "# TYPE " << id << " counter\n" << id << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string id = prometheus_name(name);
+    os << "# TYPE " << id << " gauge\n"
+       << id << ' ' << format_number(value) << '\n';
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    const std::string id = prometheus_name(name);
+    os << "# TYPE " << id << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      cumulative += data.bucket_counts[i];
+      const std::string edge = i < data.boundaries.size()
+                                   ? format_number(data.boundaries[i])
+                                   : std::string("+Inf");
+      os << id << "_bucket{le=\"" << edge << "\"} " << cumulative << '\n';
+    }
+    os << id << "_sum " << format_number(data.sum) << '\n'
+       << id << "_count " << data.count << '\n';
+  }
+}
+
+void render_trace_text(std::ostream& os, const TraceCollector& trace) {
+  for (const SpanRecord& span : trace.spans()) {
+    for (int i = 0; i < span.depth; ++i) os << "  ";
+    os << span.name << "  ";
+    const double us = static_cast<double>(span.duration_us);
+    char buf[64];
+    if (us >= 1e6) {
+      std::snprintf(buf, sizeof buf, "%.2f s", us / 1e6);
+    } else if (us >= 1e3) {
+      std::snprintf(buf, sizeof buf, "%.2f ms", us / 1e3);
+    } else {
+      std::snprintf(buf, sizeof buf, "%lld us",
+                    static_cast<long long>(span.duration_us));
+    }
+    os << buf << '\n';
+  }
+}
+
+}  // namespace mcs::obs

@@ -1,0 +1,45 @@
+// Exporters for the telemetry registry and trace: JSON (machine-readable
+// run report, schema "mcs.telemetry.v1"), CSV (one row per metric sample
+// point, for spreadsheets), and Prometheus text exposition format (for
+// scrape-style tooling). All exporters render a deterministic order
+// (snapshot maps are name-sorted), so golden tests and diff-based perf
+// regression checks are stable.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mcs::obs {
+
+/// Writes the registry (and optionally a trace) as one JSON object:
+///   {"schema":"mcs.telemetry.v1","meta":{...},"counters":{...},
+///    "gauges":{...},"histograms":{...},"trace":[...]}
+/// Histogram buckets use Prometheus le semantics; the overflow bucket's
+/// upper edge is the string "+Inf". `meta` lands as string fields under
+/// "meta" (e.g. tool name, scenario path).
+void write_metrics_json(
+    std::ostream& os, const MetricsRegistry& registry,
+    const TraceCollector* trace = nullptr,
+    const std::map<std::string, std::string>& meta = {});
+
+/// CSV with header kind,name,field,value -- counters one row each,
+/// gauges one row each, histograms one row per (count|sum|min|max) plus
+/// one per bucket ("le=<edge>").
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// ('.' and '-' -> '_') and prefixed "mcs_"; histograms expand to
+/// _bucket/_sum/_count series.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+/// Human-readable indented span tree:
+///   run                          12.3 ms
+///     allocation                  4.5 ms
+///     payments                    7.8 ms
+void render_trace_text(std::ostream& os, const TraceCollector& trace);
+
+}  // namespace mcs::obs

@@ -1,0 +1,107 @@
+// Phase tracing: nested RAII spans over a run's pipeline stages.
+//
+// A TraceCollector owns the span tree of one thread (bid intake ->
+// matching -> critical-value payment search -> settlement); TraceSpan opens
+// a span on the collector installed for the current thread, and also
+// records the span's duration into a "span.<name>_us" histogram of the
+// installed MetricsRegistry, so aggregate phase timings survive even when
+// no trace is kept. Like the registry, everything is a no-op until a
+// collector/registry is installed -- disabled spans cost one thread-local
+// load and a branch.
+//
+// Spans are recorded in open order (depth-first preorder), so rendering the
+// tree is a single pass over spans() using each record's depth.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::obs {
+
+struct SpanRecord {
+  std::string name;
+  int depth{0};                 ///< 0 = root span
+  int parent{-1};               ///< index into TraceCollector::spans(); -1 = root
+  std::int64_t start_us{0};     ///< offset from the collector's epoch
+  std::int64_t duration_us{0};  ///< filled when the span closes
+};
+
+/// Collects the spans of one thread. Not thread-safe by design: install one
+/// collector per thread (ScopedTrace) and merge/inspect after joining.
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /// All spans opened so far, in open (preorder) order. Records of spans
+  /// still open have duration_us == 0.
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+
+  /// Steady-clock epoch all start offsets are relative to.
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+  /// Internal API used by TraceSpan.
+  [[nodiscard]] std::size_t open_span(std::string_view name);
+  void close_span(std::size_t index, std::int64_t duration_us);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_stack_;
+};
+
+/// Collector installed for the current thread, or nullptr (tracing off).
+[[nodiscard]] TraceCollector* current_trace() noexcept;
+
+/// RAII install/restore of the current thread's collector (nests).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceCollector* collector) noexcept;
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceCollector* previous_;
+};
+
+/// One nested phase. Opens on construction, closes on destruction; records
+/// to the installed collector (span tree) and registry (duration
+/// histogram "span.<name>_us"). No-op when neither is installed.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  std::size_t index_{0};
+  bool metrics_on_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records the scope's wall time into a histogram of the installed
+/// registry (microseconds). Lighter than TraceSpan: never touches the
+/// span tree, so it suits per-repetition / per-item loops.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view histogram_name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  bool enabled_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcs::obs

@@ -1,8 +1,35 @@
 #include "platform/round_driver.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcs::platform {
+
+namespace {
+
+/// Counter name for a protocol event kind ("platform.events.<kind>").
+std::string_view event_counter_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskAnnounced:
+      return "platform.events.task_announced";
+    case EventKind::kBidSubmitted:
+      return "platform.events.bid_submitted";
+    case EventKind::kTaskAssigned:
+      return "platform.events.task_assigned";
+    case EventKind::kTaskUnserved:
+      return "platform.events.task_unserved";
+    case EventKind::kSensingReported:
+      return "platform.events.sensing_reported";
+    case EventKind::kPaymentIssued:
+      return "platform.events.payment_issued";
+    case EventKind::kDeparted:
+      return "platform.events.departed";
+  }
+  return "platform.events.unknown";
+}
+
+}  // namespace
 
 std::vector<RoundEvent> RoundResult::events_of(EventKind kind) const {
   std::vector<RoundEvent> filtered;
@@ -15,6 +42,7 @@ std::vector<RoundEvent> RoundResult::events_of(EventKind kind) const {
 RoundResult run_round(const model::Scenario& scenario,
                       const model::BidProfile& bids,
                       auction::OnlineGreedyConfig config) {
+  const obs::TraceSpan span("platform.round");
   scenario.validate();
   model::validate_bids(scenario, bids);
 
@@ -75,6 +103,14 @@ RoundResult run_round(const model::Scenario& scenario,
   }
   MCS_ENSURES(platform.finished(), "driver must consume the whole round");
   result.outcome.validate(scenario, bids);
+  if (obs::MetricsRegistry* registry = obs::current_registry()) {
+    registry->counter("platform.rounds").add(1);
+    registry->counter("platform.slots")
+        .add(static_cast<std::int64_t>(scenario.num_slots));
+    for (const RoundEvent& event : result.transcript) {
+      registry->counter(event_counter_name(event.kind)).add(1);
+    }
+  }
   return result;
 }
 

@@ -81,8 +81,8 @@ std::string FigureSeries::to_chart() const {
 
 FigureSeries run_figure(const FigureSpec& spec, const SimulationConfig& base) {
   const StandardMechanisms mechanisms;
-  const std::vector<SweepPoint> points =
-      run_sweep(base, spec.xs, spec.mutate, mechanisms.pointers());
+  const std::vector<SweepPoint> points = run_sweep(
+      base, spec.xs, spec.mutate, mechanisms.pointers(), spec.x_label);
 
   const bool welfare = spec.metric == FigureMetric::kSocialWelfare;
   const std::string metric_name =

@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "auction/offline_vcg.hpp"
@@ -9,6 +11,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcs::sim {
 
@@ -49,6 +53,8 @@ SimulationResult make_result_shell(
 void run_repetition(const SimulationConfig& config,
                     const std::vector<const auction::Mechanism*>& mechanisms,
                     const Rng& parent, int rep, SimulationResult& result) {
+  const obs::ScopedTimer rep_timer("sim.repetition_duration_us");
+  obs::count("sim.repetitions");
   Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
   const model::Scenario scenario =
       model::generate_scenario(config.workload, rng);
@@ -57,7 +63,18 @@ void run_repetition(const SimulationConfig& config,
   result.tasks_per_round.add(static_cast<double>(scenario.task_count()));
 
   for (std::size_t k = 0; k < mechanisms.size(); ++k) {
-    const auction::Outcome outcome = mechanisms[k]->run(scenario, bids);
+    auction::Outcome outcome;
+    {
+      // Per-mechanism totals; the names are only materialised when
+      // telemetry is on, so the disabled path stays allocation-free.
+      std::optional<obs::ScopedTimer> mech_timer;
+      if (obs::current_registry() != nullptr) {
+        const std::string prefix = "sim.mechanism." + mechanisms[k]->name();
+        obs::count(prefix + ".runs");
+        mech_timer.emplace(prefix + ".duration_us");
+      }
+      outcome = mechanisms[k]->run(scenario, bids);
+    }
     const analysis::RoundMetrics metrics =
         analysis::compute_metrics(scenario, bids, outcome);
     MechanismAggregate& aggregate = result.mechanisms[k];
@@ -91,6 +108,7 @@ SimulationResult simulate(
     const SimulationConfig& config,
     const std::vector<const auction::Mechanism*>& mechanisms) {
   check_inputs(config, mechanisms);
+  const obs::TraceSpan span("sim.simulate");
   SimulationResult result = make_result_shell(mechanisms);
   const Rng parent(config.base_seed);
   for (int rep = 0; rep < config.repetitions; ++rep) {
@@ -111,15 +129,29 @@ SimulationResult simulate_parallel(
   threads = std::min(threads, config.repetitions);
   if (threads == 1) return simulate(config, mechanisms);
 
+  const obs::TraceSpan span("sim.simulate_parallel");
   const Rng parent(config.base_seed);
   std::vector<SimulationResult> partials(
       static_cast<std::size_t>(threads));
   for (auto& partial : partials) partial = make_result_shell(mechanisms);
 
+  // Worker-local registries: each worker records into its own registry
+  // (new threads inherit no thread-local state), and the partials are
+  // folded into the caller's registry in worker order after the join.
+  // Counter and histogram merges are sums, so the reduced counts equal a
+  // sequential run over the same repetitions exactly.
+  obs::MetricsRegistry* const parent_registry = obs::current_registry();
+  std::vector<obs::MetricsRegistry> worker_metrics(
+      static_cast<std::size_t>(threads));
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
+      std::optional<obs::ScopedRegistry> telemetry;
+      if (parent_registry != nullptr) {
+        telemetry.emplace(&worker_metrics[static_cast<std::size_t>(w)]);
+      }
       for (int rep = w; rep < config.repetitions; rep += threads) {
         run_repetition(config, mechanisms, parent, rep,
                        partials[static_cast<std::size_t>(w)]);
@@ -131,6 +163,11 @@ SimulationResult simulate_parallel(
   SimulationResult result = std::move(partials.front());
   for (std::size_t w = 1; w < partials.size(); ++w) {
     merge_into(result, partials[w]);
+  }
+  if (parent_registry != nullptr) {
+    for (const obs::MetricsRegistry& partial : worker_metrics) {
+      parent_registry->merge(partial);
+    }
   }
   return result;
 }

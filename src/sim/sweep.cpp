@@ -2,13 +2,16 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcs::sim {
 
 std::vector<SweepPoint> run_sweep(
     const SimulationConfig& base, const std::vector<double>& xs,
     const ConfigMutator& mutate,
-    const std::vector<const auction::Mechanism*>& mechanisms) {
+    const std::vector<const auction::Mechanism*>& mechanisms,
+    std::string_view param_name) {
   MCS_EXPECTS(!xs.empty(), "sweep requires at least one x value");
   MCS_EXPECTS(static_cast<bool>(mutate), "sweep requires a mutator");
 
@@ -17,7 +20,9 @@ std::vector<SweepPoint> run_sweep(
   for (const double x : xs) {
     SimulationConfig config = base;
     mutate(config.workload, x);
-    MCS_LOG_INFO("sweep point x=" << x);
+    MCS_LOG_INFO("sweep point " << param_name << "=" << x);
+    const obs::ScopedTimer point_timer("sim.sweep.point_duration_us");
+    obs::count("sim.sweep.points");
     points.push_back(SweepPoint{x, simulate(config, mechanisms)});
   }
   return points;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -24,10 +25,14 @@ struct SweepPoint {
 
 /// Runs the simulation at every x. The base config's swept field is
 /// overwritten by the mutator; everything else (including the seed) is
-/// shared across points.
+/// shared across points. `param_name` names the swept axis in logs and
+/// telemetry (e.g. "m", "lambda", "c-bar"); defaults to "x" for callers
+/// that sweep an anonymous parameter. Each point's wall time lands in the
+/// installed registry ("sim.sweep.point_duration_us").
 [[nodiscard]] std::vector<SweepPoint> run_sweep(
     const SimulationConfig& base, const std::vector<double>& xs,
     const ConfigMutator& mutate,
-    const std::vector<const auction::Mechanism*>& mechanisms);
+    const std::vector<const auction::Mechanism*>& mechanisms,
+    std::string_view param_name = "x");
 
 }  // namespace mcs::sim

@@ -1,0 +1,380 @@
+// Tests for the telemetry subsystem: instrument semantics, deterministic
+// registry merging (the simulate_parallel reduction identity), span
+// nesting, scoped installation, and exporter golden output.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace mcs::obs {
+namespace {
+
+// ------------------------------------------------------------ instruments
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, TracksLastValueAndSetFlag) {
+  Gauge g;
+  EXPECT_FALSE(g.has_value());
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.0);
+  EXPECT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, LeBucketPlacement) {
+  // Prometheus semantics: bucket i counts samples <= boundaries[i].
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (boundary is inclusive)
+  h.observe(1.001);  // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(100.5);  // overflow
+  const std::vector<std::int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 100.0 + 100.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.5);
+}
+
+TEST(Histogram, RejectsUnsortedBoundaries) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), ContractViolation);
+  EXPECT_THROW(Histogram({1.0, 1.0}), ContractViolation);
+}
+
+TEST(Histogram, ExponentialBoundaries) {
+  const std::vector<double> edges = Histogram::exponential_boundaries(1.0, 2.0, 4);
+  EXPECT_EQ(edges, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(Histogram::default_latency_boundaries_us().size(), 24u);
+}
+
+TEST(Histogram, MergeSumsBucketsAndExtrema) {
+  Histogram a({10.0, 20.0});
+  Histogram b({10.0, 20.0});
+  a.observe(5.0);
+  b.observe(15.0);
+  b.observe(25.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.bucket_counts(), (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 25.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 45.0);
+}
+
+TEST(Histogram, MergeOfEmptyKeepsExtrema) {
+  Histogram a({10.0});
+  Histogram empty({10.0});
+  a.observe(4.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.min(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(Histogram, MergeRequiresIdenticalBoundaries) {
+  Histogram a({10.0});
+  Histogram b({20.0});
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, InstrumentsAreStableByName) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("x.count");
+  Counter& c2 = registry.counter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  Histogram& h1 = registry.histogram("x.latency_us");
+  Histogram& h2 = registry.histogram("x.latency_us");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.boundaries(), Histogram::default_latency_boundaries_us());
+}
+
+TEST(MetricsRegistry, HistogramReRegistrationMustAgreeOnBoundaries) {
+  MetricsRegistry registry;
+  const std::vector<double> edges{1.0, 2.0};
+  registry.histogram("h", &edges);
+  const std::vector<double> other{3.0};
+  EXPECT_THROW(registry.histogram("h", &other), ContractViolation);
+}
+
+TEST(MetricsRegistry, SnapshotSkipsUnsetGauges) {
+  MetricsRegistry registry;
+  registry.gauge("unset");
+  registry.gauge("set").set(7.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("set"), 7.0);
+}
+
+TEST(MetricsRegistry, MergeIsAssociativeOnCountersAndHistograms) {
+  // merge(merge(a, b), c) == merge(a, merge(b, c)) -- the property that
+  // makes the simulate_parallel reduction order-independent.
+  MetricsRegistry left_a, left_b, left_c;
+  left_a.counter("work.items").add(1);
+  left_b.counter("work.items").add(2);
+  left_c.counter("work.items").add(4);
+  left_a.histogram("work.size").observe(3.0);
+  left_b.histogram("work.size").observe(30.0);
+  left_c.histogram("work.size").observe(300.0);
+
+  MetricsRegistry right_a, right_b, right_c;
+  right_a.counter("work.items").add(1);
+  right_b.counter("work.items").add(2);
+  right_c.counter("work.items").add(4);
+  right_a.histogram("work.size").observe(3.0);
+  right_b.histogram("work.size").observe(30.0);
+  right_c.histogram("work.size").observe(300.0);
+
+  left_a.merge(left_b);   // (a+b)
+  left_a.merge(left_c);   // (a+b)+c
+  right_b.merge(right_c); // (b+c)
+  right_a.merge(right_b); // a+(b+c)
+
+  const MetricsSnapshot left = left_a.snapshot();
+  const MetricsSnapshot right = right_a.snapshot();
+  EXPECT_EQ(left.counters, right.counters);
+  ASSERT_EQ(left.histograms.size(), right.histograms.size());
+  const auto& lh = left.histograms.at("work.size");
+  const auto& rh = right.histograms.at("work.size");
+  EXPECT_EQ(lh.bucket_counts, rh.bucket_counts);
+  EXPECT_EQ(lh.count, rh.count);
+  EXPECT_DOUBLE_EQ(lh.sum, rh.sum);
+  EXPECT_DOUBLE_EQ(lh.min, rh.min);
+  EXPECT_DOUBLE_EQ(lh.max, rh.max);
+}
+
+TEST(MetricsRegistry, MergeKeepsAlreadySetGauges) {
+  MetricsRegistry dst, src;
+  dst.gauge("knob").set(1.0);
+  src.gauge("knob").set(2.0);
+  src.gauge("other").set(9.0);
+  dst.merge(src);
+  const MetricsSnapshot snap = dst.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("knob"), 1.0);   // destination wins
+  EXPECT_DOUBLE_EQ(snap.gauges.at("other"), 9.0);  // adopted from source
+}
+
+TEST(MetricsRegistry, MergeIntoSelfIsRejected) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.merge(registry), ContractViolation);
+}
+
+// ------------------------------------------------------ scoped installation
+
+TEST(ScopedRegistry, InstallsNestsAndRestores) {
+  EXPECT_EQ(current_registry(), nullptr);
+  MetricsRegistry outer, inner;
+  {
+    const ScopedRegistry outer_guard(&outer);
+    EXPECT_EQ(current_registry(), &outer);
+    count("hits");
+    {
+      const ScopedRegistry inner_guard(&inner);
+      EXPECT_EQ(current_registry(), &inner);
+      count("hits", 10);
+      // nullptr disables telemetry within the scope.
+      const ScopedRegistry off_guard(nullptr);
+      EXPECT_EQ(current_registry(), nullptr);
+      count("hits", 100);  // dropped
+    }
+    EXPECT_EQ(current_registry(), &outer);
+    count("hits");
+  }
+  EXPECT_EQ(current_registry(), nullptr);
+  count("hits", 1000);  // dropped
+  EXPECT_EQ(outer.counter("hits").value(), 2);
+  EXPECT_EQ(inner.counter("hits").value(), 10);
+}
+
+TEST(ScopedRegistry, HelpersAreNoOpsWhenUninstalled) {
+  ASSERT_EQ(current_registry(), nullptr);
+  count("free.counter");
+  observe("free.histogram", 1.0);
+  set_gauge("free.gauge", 1.0);
+  // Nothing to assert beyond "does not crash": there is no registry.
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TraceSpan, RecordsNestingDepthAndParent) {
+  TraceCollector trace;
+  MetricsRegistry registry;
+  {
+    const ScopedTrace trace_guard(&trace);
+    const ScopedRegistry registry_guard(&registry);
+    const TraceSpan root("run");
+    {
+      const TraceSpan child("allocation");
+      const TraceSpan grandchild("probe");
+      (void)grandchild;
+    }
+    const TraceSpan sibling("payments");
+    (void)sibling;
+  }
+  const std::vector<SpanRecord>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "run");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "allocation");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "probe");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[2].parent, 1);
+  EXPECT_EQ(spans[3].name, "payments");
+  EXPECT_EQ(spans[3].depth, 1);
+  EXPECT_EQ(spans[3].parent, 0);
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.duration_us, 0) << span.name;
+    EXPECT_GE(span.start_us, 0) << span.name;
+  }
+  // The root cannot be shorter than any of its children.
+  EXPECT_GE(spans[0].duration_us, spans[1].duration_us);
+  // Each closed span also landed in the registry's span histogram.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.histograms.at("span.run_us").count, 1);
+  EXPECT_EQ(snap.histograms.at("span.allocation_us").count, 1);
+}
+
+TEST(TraceSpan, NoOpWithoutCollectorOrRegistry) {
+  ASSERT_EQ(current_trace(), nullptr);
+  ASSERT_EQ(current_registry(), nullptr);
+  const TraceSpan span("orphan");
+  (void)span;
+}
+
+TEST(ScopedTimer, RecordsIntoRegistryOnly) {
+  TraceCollector trace;
+  MetricsRegistry registry;
+  {
+    const ScopedTrace trace_guard(&trace);
+    const ScopedRegistry registry_guard(&registry);
+    const ScopedTimer timer("phase.duration_us");
+    (void)timer;
+  }
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(registry.histogram("phase.duration_us").count(), 1);
+}
+
+// -------------------------------------------------------------- exporters
+
+void fill_golden_registry(MetricsRegistry& registry) {
+  registry.counter("b.counter").add(7);
+  registry.counter("a.counter").add(3);
+  registry.gauge("g.level").set(2.5);
+  const std::vector<double> edges{1.0, 10.0};
+  Histogram& h = registry.histogram("h.sizes", &edges);
+  h.observe(1.0);
+  h.observe(4.0);
+  h.observe(40.0);
+}
+
+TEST(Exporters, JsonGolden) {
+  MetricsRegistry registry;
+  fill_golden_registry(registry);
+  std::ostringstream out;
+  write_metrics_json(out, registry, nullptr, {{"tool", "obs_test"}});
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"mcs.telemetry.v1\",\"meta\":{\"tool\":\"obs_test\"},"
+            "\"counters\":{\"a.counter\":3,\"b.counter\":7},"
+            "\"gauges\":{\"g.level\":2.5},"
+            "\"histograms\":{\"h.sizes\":{\"count\":3,\"sum\":45,\"min\":1,"
+            "\"max\":40,\"buckets\":[{\"le\":1,\"count\":1},"
+            "{\"le\":10,\"count\":1},{\"le\":\"+Inf\",\"count\":1}]}}}\n");
+}
+
+TEST(Exporters, JsonIncludesTraceWhenGiven) {
+  MetricsRegistry registry;
+  TraceCollector trace;
+  {
+    const ScopedTrace guard(&trace);
+    const TraceSpan span("root");
+    (void)span;
+  }
+  std::ostringstream out;
+  write_metrics_json(out, registry, &trace);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"trace\":[{\"name\":\"root\",\"depth\":0,"
+                      "\"parent\":-1,"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Exporters, CsvGolden) {
+  MetricsRegistry registry;
+  fill_golden_registry(registry);
+  std::ostringstream out;
+  write_metrics_csv(out, registry);
+  EXPECT_EQ(out.str(),
+            "kind,name,field,value\n"
+            "counter,a.counter,value,3\n"
+            "counter,b.counter,value,7\n"
+            "gauge,g.level,value,2.5\n"
+            "histogram,h.sizes,count,3\n"
+            "histogram,h.sizes,sum,45\n"
+            "histogram,h.sizes,min,1\n"
+            "histogram,h.sizes,max,40\n"
+            "histogram,h.sizes,le=1,1\n"
+            "histogram,h.sizes,le=10,1\n"
+            "histogram,h.sizes,le=+Inf,1\n");
+}
+
+TEST(Exporters, PrometheusGolden) {
+  MetricsRegistry registry;
+  fill_golden_registry(registry);
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  EXPECT_EQ(out.str(),
+            "# TYPE mcs_a_counter counter\n"
+            "mcs_a_counter 3\n"
+            "# TYPE mcs_b_counter counter\n"
+            "mcs_b_counter 7\n"
+            "# TYPE mcs_g_level gauge\n"
+            "mcs_g_level 2.5\n"
+            "# TYPE mcs_h_sizes histogram\n"
+            "mcs_h_sizes_bucket{le=\"1\"} 1\n"
+            "mcs_h_sizes_bucket{le=\"10\"} 2\n"
+            "mcs_h_sizes_bucket{le=\"+Inf\"} 3\n"
+            "mcs_h_sizes_sum 45\n"
+            "mcs_h_sizes_count 3\n");
+}
+
+TEST(Exporters, TraceTextIndentsByDepth) {
+  TraceCollector trace;
+  {
+    const ScopedTrace guard(&trace);
+    const TraceSpan root("run");
+    const TraceSpan child("allocation");
+    (void)child;
+  }
+  std::ostringstream out;
+  render_trace_text(out, trace);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("run  ", 0), 0u) << text;
+  EXPECT_NE(text.find("\n  allocation  "), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace mcs::obs

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcs::sim {
 namespace {
@@ -74,6 +75,62 @@ TEST(ParallelSim, DefaultThreadCountWorks) {
   const SimulationResult result =
       simulate_parallel(config, mechanisms.pointers(), 0);
   EXPECT_EQ(result.mechanisms[0].social_welfare.count(), 12u);
+}
+
+TEST(ParallelSim, MergedTelemetryMatchesSequential) {
+  // Worker-local registries reduced in worker order must produce exactly
+  // the counters a single-threaded run records: the same repetitions run
+  // with the same per-repetition seeds, so every work counter (Hungarian
+  // iterations, SPFA pops, critical-value probes, greedy pool sizes) is
+  // deterministic. Span histograms are excluded -- the sequential path
+  // records span.sim.simulate_us while the parallel one records
+  // span.sim.simulate_parallel_us -- so the comparison strips "span."
+  // entries and skips wall-clock duration histograms.
+  const SimulationConfig config = config_for_test();
+  const StandardMechanisms mechanisms;
+
+  obs::MetricsRegistry sequential_metrics;
+  {
+    const obs::ScopedRegistry guard(&sequential_metrics);
+    (void)simulate(config, mechanisms.pointers());
+  }
+  const obs::MetricsSnapshot sequential = sequential_metrics.snapshot();
+  EXPECT_EQ(sequential.counters.at("sim.repetitions"),
+            static_cast<std::int64_t>(config.repetitions));
+  EXPECT_GT(sequential.counters.at("matching.hungarian.iterations"), 0);
+  EXPECT_GT(sequential.counters.at("auction.critical_value.probes"), 0);
+
+  for (const int threads : {2, 3, 4}) {
+    obs::MetricsRegistry parallel_metrics;
+    {
+      const obs::ScopedRegistry guard(&parallel_metrics);
+      (void)simulate_parallel(config, mechanisms.pointers(), threads);
+    }
+    const obs::MetricsSnapshot parallel = parallel_metrics.snapshot();
+
+    auto strip_spans = [](const std::map<std::string, std::int64_t>& in) {
+      std::map<std::string, std::int64_t> out;
+      for (const auto& [name, value] : in) {
+        if (name.rfind("span.", 0) != 0) out[name] = value;
+      }
+      return out;
+    };
+    EXPECT_EQ(strip_spans(parallel.counters), strip_spans(sequential.counters))
+        << "threads=" << threads;
+
+    // The greedy pool-size histogram records deterministic integer samples,
+    // so even its bucket layout must reduce exactly.
+    const auto& seq_pool = sequential.histograms.at("auction.greedy.pool_size");
+    const auto& par_pool = parallel.histograms.at("auction.greedy.pool_size");
+    EXPECT_EQ(par_pool.bucket_counts, seq_pool.bucket_counts)
+        << "threads=" << threads;
+    EXPECT_EQ(par_pool.count, seq_pool.count);
+    EXPECT_DOUBLE_EQ(par_pool.sum, seq_pool.sum);
+
+    // Wall-clock histograms vary in values but not in sample counts.
+    EXPECT_EQ(parallel.histograms.at("sim.repetition_duration_us").count,
+              static_cast<std::int64_t>(config.repetitions));
+  }
 }
 
 TEST(ParallelSim, SharesInputValidationWithSequential) {

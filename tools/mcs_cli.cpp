@@ -10,7 +10,9 @@
 // the outcome; audit runs the truthfulness/IR deviation grids; figure
 // regenerates one of the paper's evaluation figures.
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <fstream>
@@ -30,12 +32,68 @@
 #include "io/table.hpp"
 #include "model/scenario_io.hpp"
 #include "model/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiments.hpp"
 #include "sim/html_report.hpp"
 
 namespace {
 
 using namespace mcs;
+
+/// Telemetry session for a subcommand: installs a registry + trace
+/// collector for the calling thread when --metrics-out or --trace asked
+/// for them (otherwise everything stays a no-op), and writes the report /
+/// renders the trace in finish().
+class CliTelemetry {
+ public:
+  CliTelemetry(std::string metrics_path, bool trace_to_stdout)
+      : metrics_path_(std::move(metrics_path)),
+        trace_to_stdout_(trace_to_stdout) {
+    if (!enabled()) return;
+    registry_guard_.emplace(&registry_);
+    trace_guard_.emplace(&trace_);
+    // Pre-register the headline counters so every report carries the same
+    // schema keys regardless of which mechanism ran (zero means "this run
+    // never exercised that path") -- the smoke test and downstream perf
+    // tooling key on their presence.
+    registry_.counter("matching.hungarian.iterations");
+    registry_.counter("matching.hungarian.augmenting_paths");
+    registry_.counter("matching.flow.augmenting_paths");
+    registry_.counter("auction.critical_value.probes");
+    registry_.counter("auction.greedy.allocation_runs");
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return !metrics_path_.empty() || trace_to_stdout_;
+  }
+
+  /// Writes the JSON report and/or prints the span tree. Must be called
+  /// after every traced span has closed.
+  void finish(const std::map<std::string, std::string>& meta) {
+    if (!enabled()) return;
+    trace_guard_.reset();
+    registry_guard_.reset();
+    if (trace_to_stdout_) {
+      std::cout << "trace:\n";
+      obs::render_trace_text(std::cout, trace_);
+    }
+    if (metrics_path_.empty()) return;
+    std::ofstream out(metrics_path_);
+    if (!out) throw IoError("cannot open metrics file: " + metrics_path_);
+    obs::write_metrics_json(out, registry_, &trace_, meta);
+    std::cout << "telemetry written to " << metrics_path_ << '\n';
+  }
+
+ private:
+  std::string metrics_path_;
+  bool trace_to_stdout_;
+  obs::MetricsRegistry registry_;
+  obs::TraceCollector trace_;
+  std::optional<obs::ScopedRegistry> registry_guard_;
+  std::optional<obs::ScopedTrace> trace_guard_;
+};
 
 void print_usage() {
   std::cout <<
@@ -130,17 +188,41 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_int("batch", 5, "batch size for --mechanism batched");
   cli.add_switch("allocation", "also print the per-task allocation");
   cli.add_string("json", "", "also write a machine-readable round report");
+  cli.add_string("metrics-out", "",
+                 "write a telemetry report (counters, histograms, trace) as JSON");
+  cli.add_switch("trace", "print the nested phase-timing tree");
   if (!cli.parse(argc, argv)) return 0;
 
-  const model::Scenario scenario = model::load_scenario(cli.get_string("file"));
-  const auto mechanism = make_mechanism(
-      cli.get_string("mechanism"), cli.get_double("reserve"),
-      cli.get_switch("profitable-only"), cli.get_int("batch"));
+  CliTelemetry telemetry(cli.get_string("metrics-out"),
+                         cli.get_switch("trace"));
 
-  const model::BidProfile bids = scenario.truthful_bids();
-  const auction::Outcome outcome = mechanism->run(scenario, bids);
-  const analysis::RoundMetrics metrics =
-      analysis::compute_metrics(scenario, bids, outcome);
+  auction::Outcome outcome;
+  analysis::RoundMetrics metrics;
+  std::unique_ptr<auction::Mechanism> mechanism;
+  model::Scenario scenario;
+  model::BidProfile bids;
+  {
+    const obs::TraceSpan span("cli.run");
+    {
+      const obs::TraceSpan load_span("cli.load_scenario");
+      scenario = model::load_scenario(cli.get_string("file"));
+    }
+    mechanism = make_mechanism(
+        cli.get_string("mechanism"), cli.get_double("reserve"),
+        cli.get_switch("profitable-only"), cli.get_int("batch"));
+    {
+      const obs::TraceSpan intake_span("cli.bid_intake");
+      bids = scenario.truthful_bids();
+    }
+    outcome = mechanism->run(scenario, bids);
+    {
+      const obs::TraceSpan metrics_span("cli.compute_metrics");
+      metrics = analysis::compute_metrics(scenario, bids, outcome);
+    }
+  }
+  telemetry.finish({{"tool", "mcs_cli run"},
+                    {"scenario", cli.get_string("file")},
+                    {"mechanism", mechanism->name()}});
 
   std::cout << mechanism->name() << " on " << cli.get_string("file") << ":\n"
             << analysis::describe(metrics);
@@ -229,6 +311,9 @@ int cmd_figure(int argc, const char* const* argv) {
   cli.add_int("reps", 50, "repetitions per sweep point");
   cli.add_int("seed", 42, "base RNG seed");
   cli.add_string("csv", "", "also write the series as CSV");
+  cli.add_string("metrics-out", "",
+                 "write a telemetry report (counters, histograms, trace) as JSON");
+  cli.add_switch("trace", "print the nested phase-timing tree");
   if (!cli.parse(argc, argv)) return 0;
 
   const sim::FigureSpec& spec = sim::figure(cli.get_string("id"));
@@ -236,8 +321,15 @@ int cmd_figure(int argc, const char* const* argv) {
   base.repetitions = static_cast<int>(cli.get_int("reps"));
   base.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+  CliTelemetry telemetry(cli.get_string("metrics-out"),
+                         cli.get_switch("trace"));
   std::cout << spec.id << ": " << spec.title << '\n';
-  const sim::FigureSeries series = sim::run_figure(spec, base);
+  sim::FigureSeries series;
+  {
+    const obs::TraceSpan span("cli.figure");
+    series = sim::run_figure(spec, base);
+  }
+  telemetry.finish({{"tool", "mcs_cli figure"}, {"figure", spec.id}});
   series.to_table().print(std::cout);
   std::cout << '\n' << series.to_chart();
   if (const std::string path = cli.get_string("csv"); !path.empty()) {

@@ -33,6 +33,41 @@ if(NOT EXISTS ${WORKDIR}/cli_smoke_report.json)
 endif()
 file(REMOVE ${WORKDIR}/cli_smoke_report.json)
 
+# Telemetry: --metrics-out must produce a valid mcs.telemetry.v1 JSON
+# report with the headline work counters and a non-empty trace.
+set(METRICS ${WORKDIR}/cli_smoke_metrics.json)
+run_cli(run --file ${SCENARIO} --mechanism online --metrics-out ${METRICS} --trace)
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "run --metrics-out did not write the telemetry report")
+endif()
+file(READ ${METRICS} metrics_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # Full structural validation: parse errors abort, and the counters
+  # object must carry the headline keys.
+  string(JSON schema GET "${metrics_json}" schema)
+  if(NOT schema STREQUAL "mcs.telemetry.v1")
+    message(FATAL_ERROR "unexpected telemetry schema: ${schema}")
+  endif()
+  foreach(counter
+      matching.hungarian.iterations
+      auction.critical_value.probes
+      auction.greedy.allocation_runs)
+    string(JSON value GET "${metrics_json}" counters ${counter})
+    if(value STREQUAL "")
+      message(FATAL_ERROR "telemetry counters missing ${counter}")
+    endif()
+  endforeach()
+  string(JSON trace_len LENGTH "${metrics_json}" trace)
+  if(trace_len EQUAL 0)
+    message(FATAL_ERROR "telemetry trace is empty")
+  endif()
+else()
+  if(NOT metrics_json MATCHES "\"schema\":\"mcs\\.telemetry\\.v1\"")
+    message(FATAL_ERROR "telemetry report lacks the schema marker")
+  endif()
+endif()
+file(REMOVE ${METRICS})
+
 run_cli(audit --file ${SCENARIO} --mechanism offline)
 
 file(REMOVE ${SCENARIO})
