@@ -5,11 +5,17 @@
 #
 # Usage: scripts/collect_bench.sh [build-dir] [extra benchmark args...]
 #   e.g. scripts/collect_bench.sh build --benchmark_min_time=0.05
+#   e.g. scripts/collect_bench.sh --benchmark_min_time=0.05   (build dir defaults to 'build')
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-shift || true
+# A leading flag is a benchmark argument, not the build dir: keep it in $@.
+if [ $# -ge 1 ] && [ "${1#-}" = "$1" ]; then
+  BUILD_DIR="$1"
+  shift
+else
+  BUILD_DIR=build
+fi
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: $BUILD_DIR/bench not found; build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2

@@ -3,41 +3,85 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 
 namespace mcs::auction {
 
+namespace {
+
+/// One "critical_probe" record: the probed bid, whether the bidder still
+/// won, and the bracket [lo, hi] *after* folding the probe in.
+void log_probe(std::int32_t phone, Money probe, bool won, std::int64_t lo,
+               std::int64_t hi) {
+  obs::log_event([&] {
+    obs::Event event("critical_probe");
+    event.phone = phone;
+    event.with("probe", probe)
+        .with("won", won)
+        .with("lo", Money::from_micros(lo))
+        .with("hi", Money::from_micros(hi));
+    return event;
+  });
+}
+
+}  // namespace
+
 std::optional<Money> bisect_critical_value(const WinsWithCost& wins,
                                            Money upper_bound,
-                                           std::int64_t tolerance_micros) {
+                                           std::int64_t tolerance_micros,
+                                           std::int32_t log_phone) {
   MCS_EXPECTS(tolerance_micros >= 1, "tolerance must be >= 1 micro");
   MCS_EXPECTS(!upper_bound.is_negative(), "upper_bound must be >= 0");
   obs::count("auction.critical_value.searches");
   std::int64_t probes = 1;  // the wins(0) precondition probe below
   MCS_EXPECTS(wins(Money{}), "bisect_critical_value requires wins(0)");
+  log_probe(log_phone, Money{}, true, 0, upper_bound.micros());
 
   ++probes;
   if (wins(upper_bound)) {
     obs::count("auction.critical_value.probes", probes);
+    log_probe(log_phone, upper_bound, true, upper_bound.micros(),
+              upper_bound.micros());
+    obs::log_event([&] {
+      obs::Event event("critical_found");
+      event.phone = log_phone;
+      event.with("unbounded", true)
+          .with("upper_bound", upper_bound)
+          .with("probes", probes);
+      return event;
+    });
     return std::nullopt;  // unbounded in probed range
   }
 
   // Invariant: wins at `lo`, loses at `hi`.
   std::int64_t lo = 0;
   std::int64_t hi = upper_bound.micros();
+  log_probe(log_phone, upper_bound, false, lo, hi);
   while (hi - lo > tolerance_micros) {
     const std::int64_t mid = lo + (hi - lo) / 2;
     ++probes;
-    if (wins(Money::from_micros(mid))) {
+    const bool won = wins(Money::from_micros(mid));
+    if (won) {
       lo = mid;
     } else {
       hi = mid;
     }
+    log_probe(log_phone, Money::from_micros(mid), won, lo, hi);
   }
   obs::count("auction.critical_value.probes", probes);
   // `lo` is the largest probed winning cost; with tolerance 1 micro the
   // true threshold lies in (lo, lo + 1 micro], and for mechanisms whose
   // thresholds are exact bid values (the greedy rule) `hi` equals it.
+  obs::log_event([&] {
+    obs::Event event("critical_found");
+    event.phone = log_phone;
+    event.with("critical_bid", Money::from_micros(lo))
+        .with("lo", Money::from_micros(lo))
+        .with("hi", Money::from_micros(hi))
+        .with("probes", probes);
+    return event;
+  });
   return Money::from_micros(hi);
 }
 
@@ -57,12 +101,15 @@ std::optional<Money> greedy_critical_value(const model::Scenario& scenario,
 
   const model::Bid& own = bids[static_cast<std::size_t>(phone.value())];
   const WinsWithCost wins = [&](Money cost) {
+    // The probe allocation is bookkeeping of the search, not a decision of
+    // the recorded run: keep its events out of the primary trail.
+    const obs::ScopedEventLog suppress_inner(nullptr);
     const model::BidProfile probe = model::with_bid(
         bids, phone, model::Bid{own.window, cost});
     const GreedyRun run = run_greedy_allocation(scenario, probe, config);
     return run.allocation.is_winner(phone);
   };
-  return bisect_critical_value(wins, upper_bound);
+  return bisect_critical_value(wins, upper_bound, 1, phone.value());
 }
 
 }  // namespace mcs::auction

@@ -31,9 +31,16 @@ using WinsWithCost = std::function<bool(Money cost)>;
 /// value is unbounded within the probed range, e.g. under supply scarcity);
 /// otherwise returns a value within `tolerance_micros` of the threshold
 /// (default: exact to one micro-unit).
+///
+/// When an obs::EventLog is installed, every probe is recorded as a
+/// "critical_probe" event (probe bid, win/lose, resulting [lo, hi]
+/// bracket) followed by one "critical_found" summary; `log_phone` tags the
+/// records with the bidder under search (-1 = untagged). The `wins`
+/// predicate itself should suppress any instrumentation of its inner
+/// allocation re-run (greedy_critical_value does).
 [[nodiscard]] std::optional<Money> bisect_critical_value(
     const WinsWithCost& wins, Money upper_bound,
-    std::int64_t tolerance_micros = 1);
+    std::int64_t tolerance_micros = 1, std::int32_t log_phone = -1);
 
 /// Critical claimed cost of `phone` under the greedy online allocation
 /// (Algorithm 1) with everyone else's bids fixed. Requires that `phone`

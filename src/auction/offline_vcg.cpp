@@ -1,7 +1,11 @@
 #include "auction/offline_vcg.hpp"
 
+#include <optional>
+#include <string>
+
 #include "common/assert.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 
 namespace mcs::auction {
@@ -48,6 +52,39 @@ Outcome OfflineVcgMechanism::run(const model::Scenario& scenario,
     for (int t = 0; t < scenario.task_count(); ++t) {
       if (const auto col = matching.row_to_col[static_cast<std::size_t>(t)]) {
         outcome.allocation.assign(TaskId{t}, PhoneId{*col});
+        obs::log_event([&] {
+          obs::Event event("winner_selected");
+          event.task = t;
+          event.phone = *col;
+          event.slot = scenario.tasks[static_cast<std::size_t>(t)].slot.value();
+          event.with("weight", *graph.get(t, *col));
+          // Runner-up: the best feasible weight this task could have had
+          // from any other phone (ignores matching constraints elsewhere).
+          std::optional<Money> runner_up;
+          std::int32_t runner_up_phone = -1;
+          for (int j = 0; j < scenario.phone_count(); ++j) {
+            if (j == *col) continue;
+            if (const auto w = graph.get(t, j);
+                w && (!runner_up || *w > *runner_up)) {
+              runner_up = *w;
+              runner_up_phone = j;
+            }
+          }
+          if (runner_up) {
+            event.with("runner_up_weight", *runner_up)
+                .with("runner_up_phone",
+                      static_cast<std::int64_t>(runner_up_phone));
+          }
+          return event;
+        });
+      } else {
+        obs::log_event([&] {
+          obs::Event event("task_unserved");
+          event.task = t;
+          event.slot = scenario.tasks[static_cast<std::size_t>(t)].slot.value();
+          event.with("reason", std::string("no_positive_weight_match"));
+          return event;
+        });
       }
     }
   }
@@ -71,6 +108,16 @@ Outcome OfflineVcgMechanism::run(const model::Scenario& scenario,
     MCS_ENSURES(payment >= bids[static_cast<std::size_t>(col)].claimed_cost,
                 "VCG payment below claimed cost");
     outcome.payments[static_cast<std::size_t>(col)] = payment;
+    obs::log_event([&] {
+      obs::Event event("payment_derivation");
+      event.phone = col;
+      event.with("rule", std::string("vcg.marginal"))
+          .with("payment", payment)
+          .with("own_bid", bids[static_cast<std::size_t>(col)].claimed_cost)
+          .with("welfare_all", welfare_all)
+          .with("welfare_without", welfare_without);
+      return event;
+    });
   }
 
   outcome.validate(scenario, bids);

@@ -1,9 +1,11 @@
 #include "auction/online_greedy.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "common/assert.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,8 +61,26 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
     if (exclude && exclude->value() == i) continue;
     const model::Bid& bid = bids[static_cast<std::size_t>(i)];
     if (config.reserve_price && bid.claimed_cost > *config.reserve_price) {
+      obs::log_event([&] {
+        obs::Event event("bid_rejected");
+        event.phone = i;
+        event.slot = static_cast<std::int32_t>(bid.window.begin().value());
+        event.with("reason", std::string("reserve"))
+            .with("bid", bid.claimed_cost)
+            .with("reserve", *config.reserve_price);
+        return event;
+      });
       continue;  // above the platform reserve: never admitted
     }
+    obs::log_event([&] {
+      obs::Event event("bid_admitted");
+      event.phone = i;
+      event.slot = static_cast<std::int32_t>(bid.window.begin().value());
+      event.with("bid", bid.claimed_cost)
+          .with("departs",
+                static_cast<std::int64_t>(bid.window.end().value()));
+      return event;
+    });
     arrivals[static_cast<std::size_t>(bid.window.begin().value())].push_back(i);
   }
 
@@ -101,6 +121,23 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
     for (const PoolEntry& entry : pool) {
       record.pool.push_back(PhoneId{entry.phone});
     }
+    // The candidate pool at the start of the slot, cheapest first --
+    // Fig. 4's "dynamic pool" as a replayable record.
+    obs::log_event([&] {
+      obs::Event event("slot_pool");
+      event.slot = static_cast<std::int32_t>(t);
+      std::vector<std::int64_t> ids;
+      std::vector<std::int64_t> costs_micros;
+      ids.reserve(pool.size());
+      costs_micros.reserve(pool.size());
+      for (const PoolEntry& entry : pool) {
+        ids.push_back(entry.phone);
+        costs_micros.push_back(entry.cost_micros);
+      }
+      event.with("pool", std::move(ids))
+          .with("pool_costs_micros", std::move(costs_micros));
+      return event;
+    });
 
     // Allocate this slot's tasks to the cheapest pool members (lines 5-8).
     // With the weighted-query extension, serve high-value tasks first so a
@@ -124,6 +161,13 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
 
     for (const TaskId task : slot_tasks) {
       if (pool.empty()) {
+        obs::log_event([&] {
+          obs::Event event("task_unserved");
+          event.slot = static_cast<std::int32_t>(t);
+          event.task = task.value();
+          event.with("reason", std::string("pool_empty"));
+          return event;
+        });
         record.unserved.push_back(task);
         continue;
       }
@@ -132,10 +176,38 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
           Money::from_micros(chosen.cost_micros) > scenario.value_of(task)) {
         // The cheapest remaining bid already exceeds this task's value, so
         // no profitable assignment exists; the phone stays in the pool.
+        obs::log_event([&] {
+          obs::Event event("task_unserved");
+          event.slot = static_cast<std::int32_t>(t);
+          event.task = task.value();
+          event.with("reason", std::string("unprofitable"))
+              .with("cheapest_bid", Money::from_micros(chosen.cost_micros))
+              .with("cheapest_phone",
+                    static_cast<std::int64_t>(chosen.phone))
+              .with("task_value", scenario.value_of(task));
+          return event;
+        });
         record.unserved.push_back(task);
         continue;
       }
       pool.erase(pool.begin());
+      obs::log_event([&] {
+        obs::Event event("task_assigned");
+        event.slot = static_cast<std::int32_t>(t);
+        event.task = task.value();
+        event.phone = chosen.phone;
+        event.with("bid", Money::from_micros(chosen.cost_micros))
+            .with("task_value", scenario.value_of(task));
+        // The runner-up bid (next-cheapest pool member) documents how
+        // close the decision was; absent when the pool emptied.
+        if (!pool.empty()) {
+          event.with("runner_up_phone",
+                     static_cast<std::int64_t>(pool.begin()->phone))
+              .with("runner_up_bid",
+                    Money::from_micros(pool.begin()->cost_micros));
+        }
+        return event;
+      });
       run.allocation.assign(task, PhoneId{chosen.phone});
       record.winners.push_back(PhoneId{chosen.phone});
     }
@@ -171,13 +243,22 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
   // (Algorithm 2 re-allocates from slot 1: removing i can change history).
   // Each counterfactual evaluation is one probe of i's critical value --
   // the over-time analogue of a bisection probe (docs/observability.md).
+  // Its inner allocation decisions are search bookkeeping, not decisions
+  // of the recorded run, so event recording is suppressed for its scope.
   obs::count("auction.critical_value.probes");
-  const GreedyRun without =
-      run_greedy_allocation(scenario, bids, config_, winner, depart);
+  GreedyRun without;
+  {
+    const obs::ScopedEventLog suppress_counterfactual(nullptr);
+    without = run_greedy_allocation(scenario, bids, config_, winner, depart);
+  }
 
   Money payment = own_bid.claimed_cost;  // Algorithm 2 line 1: p_i <- b_i
   bool scarce = false;
   Money scarce_cap;
+  // Which counterfactual slot winner set the final payment (the argmax of
+  // line 6) -- the derivation reference of the payment record.
+  std::optional<PhoneId> setter_phone;
+  Slot setter_slot{0};
   for (const GreedySlotRecord& record : without.slots) {
     if (record.slot < win_slot) continue;  // only slots in [t'_i, d~_i]
     for (const TaskId task : record.unserved) {
@@ -197,14 +278,41 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
     if (!record.winners.empty()) {
       // Line 6: the r_t-th (highest-cost) winner of the slot.
       const PhoneId last = record.winners.back();
-      payment = std::max(
-          payment, bids[static_cast<std::size_t>(last.value())].claimed_cost);
+      const Money rival =
+          bids[static_cast<std::size_t>(last.value())].claimed_cost;
+      if (rival > payment) {
+        payment = rival;
+        setter_phone = last;
+        setter_slot = record.slot;
+      }
     }
   }
-  if (scarce &&
-      config_.scarce_payment == OnlineGreedyConfig::ScarcePayment::kCapAtValue) {
-    payment = std::max(payment, scarce_cap);
+  const bool scarce_applied =
+      scarce &&
+      config_.scarce_payment == OnlineGreedyConfig::ScarcePayment::kCapAtValue &&
+      scarce_cap > payment;
+  if (scarce_applied) {
+    payment = scarce_cap;
   }
+  obs::log_event([&] {
+    obs::Event event("payment_derivation");
+    event.phone = winner.value();
+    event.slot = static_cast<std::int32_t>(win_slot.value());
+    event.with("rule", std::string("algorithm2.counterfactual_max"))
+        .with("payment", payment)
+        .with("own_bid", own_bid.claimed_cost)
+        .with("window_end", static_cast<std::int64_t>(depart));
+    if (setter_phone) {
+      event.with("set_by_phone",
+                 static_cast<std::int64_t>(setter_phone->value()))
+          .with("set_in_slot",
+                static_cast<std::int64_t>(setter_slot.value()));
+    }
+    event.with("scarce", scarce);
+    if (scarce) event.with("scarce_cap", scarce_cap);
+    event.with("scarce_applied", scarce_applied);
+    return event;
+  });
   return payment;
 }
 

@@ -1,0 +1,77 @@
+// Minimal recursive-descent JSON parser -- the read side of io/json.hpp.
+//
+// The flight-recorder tooling (mcs_cli replay / explain) consumes its own
+// JSONL event logs, so the library needs to parse exactly what JsonWriter
+// emits: objects, arrays, strings with the standard escapes, numbers,
+// booleans, and null. Numbers are held as double (every integer the event
+// log emits fits a double exactly); money amounts travel as decimal
+// strings and never lose precision. Object key order is preserved so a
+// parse -> reserialize round trip of a log line is byte-stable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::io {
+
+/// One parsed JSON value. A tagged union kept deliberately simple: objects
+/// are key -> value maps (duplicate keys rejected), arrays are vectors.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Typed accessors; each throws InvalidArgumentError when the value is
+  /// not of the requested kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< number, checked integral
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member, or nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member; throws InvalidArgumentError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Convenience: member `key` as a string/int, or the fallback when the
+  /// member is absent.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::string_view key,
+                                    std::int64_t fallback) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double number_{0.0};
+  std::string string_;
+  std::vector<JsonValue> array_;
+  /// Insertion-ordered members (JSONL lines are small; linear find is fine).
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document; trailing whitespace is allowed,
+/// trailing garbage is not. Throws InvalidArgumentError with an offset on
+/// malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace mcs::io

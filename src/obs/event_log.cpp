@@ -1,0 +1,132 @@
+#include "obs/event_log.hpp"
+
+#include "common/assert.hpp"
+#include "io/json.hpp"
+
+namespace mcs::obs {
+
+namespace {
+
+void write_value(io::JsonWriter& json, const Event::Value& value) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          json.value(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          json.value(v);
+        } else if constexpr (std::is_same_v<T, bool>) {
+          json.value(v);
+        } else if constexpr (std::is_same_v<T, Money>) {
+          // Exact decimal string: replay and goldens byte-compare amounts.
+          json.value(v.to_string());
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          json.value(v);
+        } else {
+          json.begin_array();
+          for (const std::int64_t item : v) json.value(item);
+          json.end_array();
+        }
+      },
+      value);
+}
+
+}  // namespace
+
+void write_event_json(std::ostream& os, const Event& event,
+                      std::uint64_t seq) {
+  io::JsonWriter json(os);
+  json.begin_object();
+  json.field("seq", static_cast<std::int64_t>(seq));
+  json.field("type", event.type);
+  if (event.slot >= 0) {
+    json.field("slot", static_cast<std::int64_t>(event.slot));
+  }
+  if (event.phone >= 0) {
+    json.field("phone", static_cast<std::int64_t>(event.phone));
+  }
+  if (event.task >= 0) {
+    json.field("task", static_cast<std::int64_t>(event.task));
+  }
+  for (const auto& [key, value] : event.attrs) {
+    json.key(key);
+    write_value(json, value);
+  }
+  json.end_object();
+}
+
+// ---------------------------------------------------------------- sinks
+
+void JsonlEventSink::append(const Event& event, std::uint64_t seq) {
+  write_event_json(os_, event, seq);
+  os_ << '\n';
+}
+
+RingEventSink::RingEventSink(std::size_t capacity) : capacity_(capacity) {
+  MCS_EXPECTS(capacity >= 1, "ring sink capacity must be >= 1");
+  ring_.reserve(capacity);
+}
+
+void RingEventSink::append(const Event& event, std::uint64_t seq) {
+  (void)seq;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<std::size_t>(appended_ % capacity_)] = event;
+  }
+  ++appended_;
+}
+
+std::vector<Event> RingEventSink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (appended_ <= capacity_) return ring_;
+  // Unroll the ring: oldest retained event first.
+  std::vector<Event> ordered;
+  ordered.reserve(capacity_);
+  const std::size_t head = static_cast<std::size_t>(appended_ % capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    ordered.push_back(ring_[(head + i) % capacity_]);
+  }
+  return ordered;
+}
+
+std::uint64_t RingEventSink::total_appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+// ------------------------------------------------------------- EventLog
+
+EventLog::EventLog(EventSink* sink) : sink_(sink) {
+  MCS_EXPECTS(sink != nullptr, "EventLog requires a sink");
+  append(Event("log_header").with("schema", std::string(kSchema)));
+}
+
+void EventLog::append(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_->append(event, next_seq_);
+  ++next_seq_;
+}
+
+std::uint64_t EventLog::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+// -------------------------------------------------------- current log
+
+namespace {
+thread_local EventLog* t_current_event_log = nullptr;
+}  // namespace
+
+EventLog* current_event_log() noexcept { return t_current_event_log; }
+
+ScopedEventLog::ScopedEventLog(EventLog* log) noexcept
+    : previous_(t_current_event_log) {
+  t_current_event_log = log;
+}
+
+ScopedEventLog::~ScopedEventLog() { t_current_event_log = previous_; }
+
+}  // namespace mcs::obs

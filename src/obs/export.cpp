@@ -120,19 +120,46 @@ void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
   }
 }
 
+namespace {
+
+/// "# HELP <id> <text>" when a description was registered for `name`.
+/// Prometheus HELP text escapes backslash and newline; registered
+/// descriptions are one-line by convention, escape anyway.
+void write_prometheus_help(std::ostream& os, const MetricsSnapshot& snap,
+                           const std::string& name, const std::string& id) {
+  const auto it = snap.help.find(name);
+  if (it == snap.help.end()) return;
+  os << "# HELP " << id << ' ';
+  for (const char ch : it->second) {
+    if (ch == '\\') {
+      os << "\\\\";
+    } else if (ch == '\n') {
+      os << "\\n";
+    } else {
+      os << ch;
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace
+
 void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
   const MetricsSnapshot snap = registry.snapshot();
   for (const auto& [name, value] : snap.counters) {
     const std::string id = prometheus_name(name);
+    write_prometheus_help(os, snap, name, id);
     os << "# TYPE " << id << " counter\n" << id << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string id = prometheus_name(name);
+    write_prometheus_help(os, snap, name, id);
     os << "# TYPE " << id << " gauge\n"
        << id << ' ' << format_number(value) << '\n';
   }
   for (const auto& [name, data] : snap.histograms) {
     const std::string id = prometheus_name(name);
+    write_prometheus_help(os, snap, name, id);
     os << "# TYPE " << id << " histogram\n";
     std::int64_t cumulative = 0;
     for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {

@@ -106,16 +106,27 @@ void Histogram::merge(const Histogram& other) {
 
 // ------------------------------------------------------- MetricsRegistry
 
-Counter& MetricsRegistry::counter(std::string_view name) {
+void MetricsRegistry::record_help(std::string_view name,
+                                  std::string_view help) {
+  // Caller holds mutex_. First non-empty description wins.
+  if (help.empty()) return;
+  if (help_.find(name) != help_.end()) return;
+  help_.emplace(std::string(name), std::string(help));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  record_help(name, help);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
               .first->second;
 }
 
-Gauge& MetricsRegistry::gauge(std::string_view name) {
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  record_help(name, help);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -123,8 +134,10 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
-                                      const std::vector<double>* boundaries) {
+                                      const std::vector<double>* boundaries,
+                                      std::string_view help) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  record_help(name, help);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     MCS_EXPECTS(boundaries == nullptr ||
@@ -147,6 +160,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   std::vector<std::pair<std::string, const Counter*>> other_counters;
   std::vector<std::pair<std::string, const Gauge*>> other_gauges;
   std::vector<std::pair<std::string, const Histogram*>> other_histograms;
+  std::vector<std::pair<std::string, std::string>> other_help;
   {
     const std::lock_guard<std::mutex> lock(other.mutex_);
     for (const auto& [name, instrument] : other.counters_) {
@@ -158,6 +172,13 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     for (const auto& [name, instrument] : other.histograms_) {
       other_histograms.emplace_back(name, instrument.get());
     }
+    for (const auto& [name, text] : other.help_) {
+      other_help.emplace_back(name, text);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, text] : other_help) record_help(name, text);
   }
   for (const auto& [name, instrument] : other_counters) {
     counter(name).add(instrument->value());
@@ -193,6 +214,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     data.max = instrument->max();
     snap.histograms[name] = std::move(data);
   }
+  for (const auto& [name, text] : help_) snap.help[name] = text;
   return snap;
 }
 

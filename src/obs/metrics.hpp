@@ -125,6 +125,8 @@ struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
+  /// Per-metric descriptions (only metrics registered with a help text).
+  std::map<std::string, std::string> help;
 };
 
 /// Thread-safe name -> instrument store. Instrument references returned by
@@ -136,12 +138,15 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  /// `help` is an optional one-line description for exporters (Prometheus
+  /// "# HELP"); the first non-empty help registered for a name wins.
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
   /// First call for a name fixes the boundaries; later calls (and merges)
   /// must agree. Defaults to the microsecond latency buckets.
   Histogram& histogram(std::string_view name,
-                       const std::vector<double>* boundaries = nullptr);
+                       const std::vector<double>* boundaries = nullptr,
+                       std::string_view help = {});
 
   /// Folds `other` into this registry (sums counters and histograms; keeps
   /// already-set gauges). Associative and commutative on counters and
@@ -151,10 +156,13 @@ class MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  void record_help(std::string_view name, std::string_view help);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 /// Registry installed for the current thread, or nullptr (telemetry off).

@@ -1,8 +1,12 @@
 #include "platform/platform.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "obs/event_log.hpp"
 
 namespace mcs::platform {
 
@@ -36,9 +40,26 @@ bool OnlinePlatform::submit_bid(AgentId agent, const model::Bid& bid) {
     MCS_EXPECTS(existing.agent != agent, "agent already submitted a bid");
   }
   if (config_.reserve_price && bid.claimed_cost > *config_.reserve_price) {
+    obs::log_event([&] {
+      obs::Event event("bid_rejected");
+      event.slot = static_cast<std::int32_t>(current_slot_);
+      event.phone = agent.value();
+      event.with("reason", std::string("reserve"))
+          .with("bid", bid.claimed_cost)
+          .with("reserve", *config_.reserve_price);
+      return event;
+    });
     return false;  // rejected at the door
   }
   bids_.push_back(StoredBid{agent, bid, false, Slot{0}});
+  obs::log_event([&] {
+    obs::Event event("bid_admitted");
+    event.slot = static_cast<std::int32_t>(current_slot_);
+    event.phone = agent.value();
+    event.with("bid", bid.claimed_cost)
+        .with("departs", static_cast<std::int64_t>(bid.window.end().value()));
+    return event;
+  });
   return true;
 }
 
@@ -81,23 +102,73 @@ SlotReport OnlinePlatform::advance_slot() {
     }
     return a->agent < b->agent;
   });
+  obs::log_event([&] {
+    obs::Event event("slot_pool");
+    event.slot = static_cast<std::int32_t>(t);
+    std::vector<std::int64_t> ids;
+    std::vector<std::int64_t> costs;
+    ids.reserve(pool.size());
+    costs.reserve(pool.size());
+    for (const StoredBid* stored : pool) {
+      ids.push_back(stored->agent.value());
+      costs.push_back(stored->bid.claimed_cost.micros());
+    }
+    event.with("pool", std::move(ids))
+        .with("pool_costs_micros", std::move(costs))
+        .with("tasks", static_cast<std::int64_t>(slot_tasks.size()));
+    return event;
+  });
 
   std::size_t next = 0;
   for (const std::size_t k : slot_tasks) {
     const StoredTask& task = tasks_[k];
     if (next >= pool.size()) {
       report.unserved_tasks.push_back(task.id);
+      obs::log_event([&] {
+        obs::Event event("task_unserved");
+        event.slot = static_cast<std::int32_t>(t);
+        event.task = task.id.value();
+        event.with("reason", std::string("pool_empty"))
+            .with("task_value", task.value);
+        return event;
+      });
       continue;
     }
     StoredBid* cheapest = pool[next];
     if (config_.allocate_only_profitable &&
         cheapest->bid.claimed_cost > task.value) {
       report.unserved_tasks.push_back(task.id);
+      obs::log_event([&] {
+        obs::Event event("task_unserved");
+        event.slot = static_cast<std::int32_t>(t);
+        event.task = task.id.value();
+        event.with("reason", std::string("unprofitable"))
+            .with("task_value", task.value)
+            .with("cheapest_bid", cheapest->bid.claimed_cost)
+            .with("cheapest_phone",
+                  static_cast<std::int64_t>(cheapest->agent.value()));
+        return event;
+      });
       continue;  // the phone stays available for later tasks
     }
     cheapest->allocated = true;
     cheapest->win_slot = Slot{t};
     report.assignments.emplace_back(task.id, cheapest->agent);
+    obs::log_event([&] {
+      obs::Event event("task_assigned");
+      event.slot = static_cast<std::int32_t>(t);
+      event.task = task.id.value();
+      event.phone = cheapest->agent.value();
+      event.with("bid", cheapest->bid.claimed_cost)
+          .with("task_value", task.value);
+      if (next + 1 < pool.size()) {
+        const StoredBid* runner_up = pool[next + 1];
+        event.with("runner_up_phone",
+                   static_cast<std::int64_t>(runner_up->agent.value()))
+            .with("runner_up_bid", runner_up->bid.claimed_cost);
+      }
+      return event;
+    });
     ++next;
   }
 
@@ -185,22 +256,46 @@ Money OnlinePlatform::payment_for(const StoredBid& winner) const {
   const std::vector<ReplaySlot> replay = replay_without(winner.agent, depart);
 
   Money payment = winner.bid.claimed_cost;
+  std::optional<Slot::rep_type> setter_slot;
   bool scarce = false;
   Money scarce_cap;
   for (Slot::rep_type t = winner.win_slot.value(); t <= depart; ++t) {
     const ReplaySlot& slot = replay[static_cast<std::size_t>(t)];
-    if (slot.dearest_winner) {
-      payment = std::max(payment, *slot.dearest_winner);
+    if (slot.dearest_winner && *slot.dearest_winner > payment) {
+      payment = *slot.dearest_winner;
+      setter_slot = t;
     }
     if (slot.scarce_cap) {
       scarce = true;
       scarce_cap = std::max(scarce_cap, *slot.scarce_cap);
     }
   }
+  bool scarce_applied = false;
   if (scarce && config_.scarce_payment ==
                     auction::OnlineGreedyConfig::ScarcePayment::kCapAtValue) {
-    payment = std::max(payment, scarce_cap);
+    if (scarce_cap > payment) {
+      payment = scarce_cap;
+      scarce_applied = true;
+      setter_slot.reset();
+    }
   }
+  obs::log_event([&] {
+    obs::Event event("payment_derivation");
+    event.slot = static_cast<std::int32_t>(depart);
+    event.phone = winner.agent.value();
+    event.with("rule", std::string("algorithm2.replay_max"))
+        .with("payment", payment)
+        .with("own_bid", winner.bid.claimed_cost)
+        .with("win_slot",
+              static_cast<std::int64_t>(winner.win_slot.value()));
+    if (setter_slot) {
+      event.with("set_in_slot", static_cast<std::int64_t>(*setter_slot));
+    }
+    event.with("scarce", scarce);
+    if (scarce) event.with("scarce_cap", scarce_cap);
+    event.with("scarce_applied", scarce_applied);
+    return event;
+  });
   return payment;
 }
 

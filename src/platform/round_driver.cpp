@@ -1,6 +1,9 @@
 #include "platform/round_driver.hpp"
 
+#include <string>
+
 #include "common/assert.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -99,10 +102,32 @@ RoundResult run_round(const model::Scenario& scenario,
     for (const AgentId agent : report.unpaid_departures) {
       result.transcript.push_back(RoundEvent{
           Slot{t}, EventKind::kDeparted, agent, TaskId{-1}, Money{}});
+      obs::log_event([&] {
+        obs::Event event("phone_departed_unpaid");
+        event.slot = static_cast<std::int32_t>(t);
+        event.phone = agent.value();
+        return event;
+      });
     }
   }
   MCS_ENSURES(platform.finished(), "driver must consume the whole round");
   result.outcome.validate(scenario, bids);
+  obs::log_event([&] {
+    obs::Event event("round_finished");
+    Money total_paid;
+    for (const Money payment : result.outcome.payments) total_paid += payment;
+    std::int64_t unserved = 0;
+    for (const RoundEvent& round_event : result.transcript) {
+      if (round_event.kind == EventKind::kTaskUnserved) ++unserved;
+    }
+    event
+        .with("winners", static_cast<std::int64_t>(
+                             result.outcome.allocation.winners().size()))
+        .with("total_paid", total_paid)
+        .with("unserved_tasks", unserved)
+        .with("slots", static_cast<std::int64_t>(scenario.num_slots));
+    return event;
+  });
   if (obs::MetricsRegistry* registry = obs::current_registry()) {
     registry->counter("platform.rounds").add(1);
     registry->counter("platform.slots")

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -55,6 +56,21 @@ void run_repetition(const SimulationConfig& config,
                     const Rng& parent, int rep, SimulationResult& result) {
   const obs::ScopedTimer rep_timer("sim.repetition_duration_us");
   obs::count("sim.repetitions");
+  // Event sampling: keep the decision log for every n-th repetition,
+  // suppress the rest (an unsampled sim would otherwise record every
+  // decision of every repetition -- far too noisy for 30+ reps).
+  const bool sample_events =
+      config.log_every_n > 0 && rep % config.log_every_n == 0;
+  std::optional<obs::ScopedEventLog> suppress_events;
+  if (!sample_events) suppress_events.emplace(nullptr);
+  if (sample_events) {
+    obs::log_event([&] {
+      obs::Event event("repetition_started");
+      event.with("rep", static_cast<std::int64_t>(rep))
+          .with("seed", static_cast<std::int64_t>(config.base_seed));
+      return event;
+    });
+  }
   Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
   const model::Scenario scenario =
       model::generate_scenario(config.workload, rng);

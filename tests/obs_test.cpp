@@ -281,11 +281,11 @@ TEST(ScopedTimer, RecordsIntoRegistryOnly) {
 // -------------------------------------------------------------- exporters
 
 void fill_golden_registry(MetricsRegistry& registry) {
-  registry.counter("b.counter").add(7);
-  registry.counter("a.counter").add(3);
-  registry.gauge("g.level").set(2.5);
+  registry.counter("b.counter", "events of kind b").add(7);
+  registry.counter("a.counter").add(3);  // no help: no # HELP line
+  registry.gauge("g.level", "configured level knob").set(2.5);
   const std::vector<double> edges{1.0, 10.0};
-  Histogram& h = registry.histogram("h.sizes", &edges);
+  Histogram& h = registry.histogram("h.sizes", &edges, "observed sizes");
   h.observe(1.0);
   h.observe(4.0);
   h.observe(40.0);
@@ -349,16 +349,42 @@ TEST(Exporters, PrometheusGolden) {
   EXPECT_EQ(out.str(),
             "# TYPE mcs_a_counter counter\n"
             "mcs_a_counter 3\n"
+            "# HELP mcs_b_counter events of kind b\n"
             "# TYPE mcs_b_counter counter\n"
             "mcs_b_counter 7\n"
+            "# HELP mcs_g_level configured level knob\n"
             "# TYPE mcs_g_level gauge\n"
             "mcs_g_level 2.5\n"
+            "# HELP mcs_h_sizes observed sizes\n"
             "# TYPE mcs_h_sizes histogram\n"
             "mcs_h_sizes_bucket{le=\"1\"} 1\n"
             "mcs_h_sizes_bucket{le=\"10\"} 2\n"
             "mcs_h_sizes_bucket{le=\"+Inf\"} 3\n"
             "mcs_h_sizes_sum 45\n"
             "mcs_h_sizes_count 3\n");
+}
+
+TEST(MetricsRegistry, FirstNonEmptyHelpWins) {
+  MetricsRegistry registry;
+  registry.counter("c");                   // no help yet
+  registry.counter("c", "first");          // adopted
+  registry.counter("c", "second");         // ignored
+  registry.gauge("g", "gauge help");
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.help.at("c"), "first");
+  EXPECT_EQ(snap.help.at("g"), "gauge help");
+  EXPECT_EQ(snap.help.size(), 2u);
+}
+
+TEST(MetricsRegistry, MergeAdoptsMissingHelp) {
+  MetricsRegistry dst, src;
+  dst.counter("shared", "dst text").add(1);
+  src.counter("shared", "src text").add(1);
+  src.counter("only.src", "src only").add(1);
+  dst.merge(src);
+  const MetricsSnapshot snap = dst.snapshot();
+  EXPECT_EQ(snap.help.at("shared"), "dst text");   // destination wins
+  EXPECT_EQ(snap.help.at("only.src"), "src only"); // adopted
 }
 
 TEST(Exporters, TraceTextIndentsByDepth) {

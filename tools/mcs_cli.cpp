@@ -4,27 +4,30 @@
 //   mcs_cli run      --file campaign.mcs --mechanism online [--reserve 40]
 //   mcs_cli audit    --file campaign.mcs --mechanism second-price
 //   mcs_cli figure   --id fig6 [--reps 50] [--csv fig6.csv]
+//   mcs_cli replay   events.jsonl
+//   mcs_cli explain  events.jsonl --phone 3
 //
 // generate draws a Table-I-style round and saves it as a plain-text
 // scenario file; run executes a mechanism on a scenario file and prints
-// the outcome; audit runs the truthfulness/IR deviation grids; figure
-// regenerates one of the paper's evaluation figures.
+// the outcome (--events-out records the decision log); audit runs the
+// truthfulness/IR deviation grids; figure regenerates one of the paper's
+// evaluation figures; replay re-executes a recorded run and verifies the
+// outcome byte-for-byte; explain narrates one phone's round from the log.
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include <fstream>
 
+#include "analysis/flight.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report_json.hpp"
 #include "analysis/rationality.hpp"
 #include "analysis/truthfulness.hpp"
-#include "auction/batched_matching.hpp"
-#include "auction/offline_vcg.hpp"
-#include "auction/online_greedy.hpp"
-#include "auction/second_price.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "io/cli.hpp"
@@ -32,6 +35,7 @@
 #include "io/table.hpp"
 #include "model/scenario_io.hpp"
 #include "model/workload.hpp"
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -101,41 +105,41 @@ void print_usage() {
 
 Subcommands:
   generate   draw a random round and save it as a scenario file
-  run        run a mechanism on a scenario file
+  run        run a mechanism on a scenario file (--events-out records the
+             structured decision log for replay/explain)
   audit      truthfulness + individual-rationality audit on a scenario file
   figure     regenerate one of the paper's evaluation figures
   report     all figures as one self-contained HTML file
+  replay     re-execute a recorded decision log and verify the outcome
+  explain    narrate one phone's round from a recorded decision log
 
 Run 'mcs_cli <subcommand> --help' for the flags of each subcommand.
 )";
 }
 
-std::unique_ptr<auction::Mechanism> make_mechanism(const std::string& name,
-                                                   double reserve,
-                                                   bool profitable_only,
-                                                   std::int64_t batch) {
-  auction::OnlineGreedyConfig online_config;
-  online_config.allocate_only_profitable = profitable_only;
-  if (reserve > 0.0) online_config.reserve_price = Money::from_double(reserve);
+/// RunSpec from the common mechanism-selection flags (run and audit).
+analysis::RunSpec spec_from_cli(const io::CliParser& cli) {
+  analysis::RunSpec spec;
+  spec.mechanism = cli.get_string("mechanism");
+  spec.reserve = cli.get_double("reserve");
+  spec.profitable_only = cli.get_switch("profitable-only");
+  spec.batch = cli.get_int("batch");
+  return spec;
+}
 
-  if (name == "online") {
-    return std::make_unique<auction::OnlineGreedyMechanism>(online_config);
-  }
-  if (name == "offline") {
-    return std::make_unique<auction::OfflineVcgMechanism>();
-  }
-  if (name == "second-price") {
-    auction::SecondPriceConfig config;
-    config.allocation = online_config;
-    return std::make_unique<auction::SecondPriceBaseline>(config);
-  }
-  if (name == "batched") {
-    return std::make_unique<auction::BatchedMatchingMechanism>(
-        auction::BatchedMatchingConfig{static_cast<Slot::rep_type>(batch)});
-  }
-  throw InvalidArgumentError(
-      "unknown mechanism '" + name +
-      "' (expected online, offline, second-price, or batched)");
+/// Splits "subcommand FILE --flags..." argument lists: when the first
+/// argument after the subcommand is not a flag it is taken as the file
+/// path, and the strict flag parser sees the rest. Returns "" when the
+/// file must come from --file instead.
+std::string take_leading_positional(int& argc, const char* const*& argv,
+                                    std::vector<const char*>& rest) {
+  if (argc < 2 || argv[1][0] == '-') return "";
+  const std::string positional = argv[1];
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  --argc;
+  argv = rest.data();
+  return positional;
 }
 
 int cmd_generate(int argc, const char* const* argv) {
@@ -188,6 +192,11 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_int("batch", 5, "batch size for --mechanism batched");
   cli.add_switch("allocation", "also print the per-task allocation");
   cli.add_string("json", "", "also write a machine-readable round report");
+  cli.add_string("events-out", "",
+                 "record the structured decision log (JSONL, mcs.events.v1)");
+  cli.add_switch("probe-critical",
+                 "with --events-out: log each winner's critical-value "
+                 "bisection probes (online mechanism)");
   cli.add_string("metrics-out", "",
                  "write a telemetry report (counters, histograms, trace) as JSON");
   cli.add_switch("trace", "print the nested phase-timing tree");
@@ -201,20 +210,33 @@ int cmd_run(int argc, const char* const* argv) {
   std::unique_ptr<auction::Mechanism> mechanism;
   model::Scenario scenario;
   model::BidProfile bids;
+  const std::string events_path = cli.get_string("events-out");
+  std::uint64_t events_recorded = 0;
   {
     const obs::TraceSpan span("cli.run");
     {
       const obs::TraceSpan load_span("cli.load_scenario");
       scenario = model::load_scenario(cli.get_string("file"));
     }
-    mechanism = make_mechanism(
-        cli.get_string("mechanism"), cli.get_double("reserve"),
-        cli.get_switch("profitable-only"), cli.get_int("batch"));
+    const analysis::RunSpec spec = spec_from_cli(cli);
+    mechanism = analysis::make_mechanism(spec);
     {
       const obs::TraceSpan intake_span("cli.bid_intake");
       bids = scenario.truthful_bids();
     }
-    outcome = mechanism->run(scenario, bids);
+    if (events_path.empty()) {
+      outcome = mechanism->run(scenario, bids);
+    } else {
+      std::ofstream events_file(events_path);
+      if (!events_file) {
+        throw IoError("cannot open events file: " + events_path);
+      }
+      obs::JsonlEventSink sink(events_file);
+      obs::EventLog log(&sink);
+      outcome = analysis::record_run(log, spec, scenario, bids,
+                                     cli.get_switch("probe-critical"));
+      events_recorded = log.count();
+    }
     {
       const obs::TraceSpan metrics_span("cli.compute_metrics");
       metrics = analysis::compute_metrics(scenario, bids, outcome);
@@ -223,6 +245,10 @@ int cmd_run(int argc, const char* const* argv) {
   telemetry.finish({{"tool", "mcs_cli run"},
                     {"scenario", cli.get_string("file")},
                     {"mechanism", mechanism->name()}});
+  if (!events_path.empty()) {
+    std::cout << "decision log written to " << events_path << " ("
+              << events_recorded << " events)\n";
+  }
 
   std::cout << mechanism->name() << " on " << cli.get_string("file") << ":\n"
             << analysis::describe(metrics);
@@ -263,9 +289,7 @@ int cmd_audit(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const model::Scenario scenario = model::load_scenario(cli.get_string("file"));
-  const auto mechanism = make_mechanism(
-      cli.get_string("mechanism"), cli.get_double("reserve"),
-      cli.get_switch("profitable-only"), cli.get_int("batch"));
+  const auto mechanism = analysis::make_mechanism(spec_from_cli(cli));
 
   const analysis::TruthfulnessReport truth =
       analysis::audit_truthfulness(*mechanism, scenario);
@@ -339,6 +363,58 @@ int cmd_figure(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_replay(int argc, const char* const* argv) {
+  std::vector<const char*> rest;
+  const std::string positional = take_leading_positional(argc, argv, rest);
+  io::CliParser cli(
+      "Re-executes the run recorded in a decision log (mcs.events.v1 "
+      "JSONL) and byte-compares the reproduced outcome against the "
+      "recorded one. Exit 0 = identical, 1 = divergence.");
+  cli.add_string("file", positional, "events.jsonl decision log");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string path = cli.get_string("file");
+  if (path.empty()) {
+    throw InvalidArgumentError(
+        "usage: mcs_cli replay <events.jsonl> (or --file <events.jsonl>)");
+  }
+  std::ifstream events(path);
+  if (!events) throw IoError("cannot open events file: " + path);
+  const analysis::ReplayReport report = analysis::replay_run(events);
+  std::cout << "replayed " << report.mechanism << " run from " << path << " ("
+            << report.events << " events)\n";
+  if (report.clean) {
+    std::cout << "outcome reproduced byte-for-byte: " << report.recorded
+              << '\n';
+    return 0;
+  }
+  std::cout << "REPLAY DIVERGED: " << report.diff << '\n';
+  return 1;
+}
+
+int cmd_explain(int argc, const char* const* argv) {
+  std::vector<const char*> rest;
+  const std::string positional = take_leading_positional(argc, argv, rest);
+  io::CliParser cli(
+      "Narrates one phone's round from a decision log: admission, "
+      "candidate-pool standing, wins, critical-value probes, and the "
+      "payment derivation.");
+  cli.add_string("file", positional, "events.jsonl decision log");
+  cli.add_int("phone", 0, "phone id to explain");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string path = cli.get_string("file");
+  if (path.empty()) {
+    throw InvalidArgumentError(
+        "usage: mcs_cli explain <events.jsonl> --phone <id>");
+  }
+  std::ifstream events(path);
+  if (!events) throw IoError("cannot open events file: " + path);
+  std::cout << analysis::explain_phone(events,
+                                       static_cast<int>(cli.get_int("phone")));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,6 +429,8 @@ int main(int argc, char** argv) {
     if (subcommand == "audit") return cmd_audit(argc - 1, argv + 1);
     if (subcommand == "figure") return cmd_figure(argc - 1, argv + 1);
     if (subcommand == "report") return cmd_report(argc - 1, argv + 1);
+    if (subcommand == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (subcommand == "explain") return cmd_explain(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
       print_usage();
       return 0;

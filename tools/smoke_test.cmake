@@ -70,6 +70,26 @@ file(REMOVE ${METRICS})
 
 run_cli(audit --file ${SCENARIO} --mechanism offline)
 
+# Flight recorder: record a decision log, verify the header, and require
+# the replay determinism oracle to pass (exit 0 = byte-identical outcome).
+set(EVENTS ${WORKDIR}/cli_smoke_events.jsonl)
+run_cli(run --file ${SCENARIO} --mechanism online --events-out ${EVENTS}
+        --probe-critical)
+if(NOT EXISTS ${EVENTS})
+  message(FATAL_ERROR "run --events-out did not write the decision log")
+endif()
+file(READ ${EVENTS} events_head LIMIT 128)
+if(NOT events_head MATCHES "mcs\\.events\\.v1")
+  message(FATAL_ERROR "decision log lacks the mcs.events.v1 header")
+endif()
+run_cli(replay ${EVENTS})
+run_cli(explain ${EVENTS} --phone 0)
+file(REMOVE ${EVENTS})
+
+run_cli(run --file ${SCENARIO} --mechanism offline --events-out ${EVENTS})
+run_cli(replay ${EVENTS})
+file(REMOVE ${EVENTS})
+
 file(REMOVE ${SCENARIO})
 
 # figure subcommand at tiny rep count (plumbing only).
