@@ -20,9 +20,14 @@
 #include "io/table.hpp"
 #include "model/paper_examples.hpp"
 #include "model/workload.hpp"
+#include "telemetry_scope.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcs;
+
+  // Consumes --telemetry-out before the strict flag parser below; with it,
+  // the mechanism zoo's work counters land in BENCH_telemetry.json.
+  const mcs_bench::TelemetryScope telemetry(argc, argv, "baseline_comparison");
 
   io::CliParser cli(
       "All mechanisms side by side on the Table-I workload: welfare, "

@@ -1,0 +1,96 @@
+// Bench telemetry plumbing shared by every bench binary that reports into
+// BENCH_telemetry.json -- both the google-benchmark perf_* binaries
+// (bench/telemetry_main.hpp) and plain table/figure binaries that opt in
+// via TelemetryScope. Deliberately free of any google-benchmark
+// dependency so the plain binaries do not grow one.
+//
+// The contract with scripts/collect_bench.sh: when --telemetry-out=<path>
+// is passed (or MCS_BENCH_TELEMETRY_OUT is set) the binary writes one
+// "mcs.telemetry.v1" JSON report of its deterministic work counters to
+// <path>; without it nothing is installed and the run measures the
+// telemetry-off fast path. The headline counters are pre-registered so
+// every report carries the same key set -- bench-diff treats a missing
+// key as a removed metric.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcs_bench {
+
+/// Strips --telemetry-out=<path> from argv (before stricter flag parsers
+/// see it) and returns the requested path; the MCS_BENCH_TELEMETRY_OUT
+/// environment variable supplies a default the flag overrides.
+inline std::string take_telemetry_flag(int& argc, char** argv) {
+  std::string out_path;
+  if (const char* env = std::getenv("MCS_BENCH_TELEMETRY_OUT")) {
+    out_path = env;
+  }
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--telemetry-out=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      out_path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return out_path;
+}
+
+/// Writes the registry as one mcs.telemetry.v1 report; returns false (with
+/// a message on stderr) when the path cannot be opened.
+inline bool write_bench_telemetry(const std::string& path,
+                                  const mcs::obs::MetricsRegistry& registry,
+                                  std::string_view bench_name) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open telemetry output: " << path << '\n';
+    return false;
+  }
+  mcs::obs::write_metrics_json(out, registry, nullptr,
+                               {{"tool", std::string(bench_name)}});
+  std::cerr << "telemetry written to " << path << '\n';
+  return true;
+}
+
+/// RAII telemetry session for a plain (non-google-benchmark) bench binary:
+/// construct before parsing flags (it consumes --telemetry-out), and the
+/// destructor writes the report after main()'s work ran. When no output
+/// was requested nothing is installed and the whole run stays on the
+/// telemetry-off fast path.
+class TelemetryScope {
+ public:
+  TelemetryScope(int& argc, char** argv, std::string_view bench_name)
+      : bench_name_(bench_name), path_(take_telemetry_flag(argc, argv)) {
+    if (path_.empty()) return;
+    mcs::obs::preregister_headline_counters(registry_);
+    guard_.emplace(&registry_);
+  }
+
+  ~TelemetryScope() {
+    if (path_.empty()) return;
+    guard_.reset();
+    write_bench_telemetry(path_, registry_, bench_name_);
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  mcs::obs::MetricsRegistry registry_;
+  std::optional<mcs::obs::ScopedRegistry> guard_;
+};
+
+}  // namespace mcs_bench

@@ -12,6 +12,7 @@
 #include "io/cli.hpp"
 #include "io/table.hpp"
 #include "model/paper_examples.hpp"
+#include "telemetry_scope.hpp"
 
 namespace {
 
@@ -36,6 +37,10 @@ mcs::model::Scenario random_instance(mcs::Rng& rng) {
 
 int main(int argc, char** argv) {
   using namespace mcs;
+
+  // Consumes --telemetry-out before the strict flag parser below; with it,
+  // the deviation grids' work counters land in BENCH_telemetry.json.
+  const mcs_bench::TelemetryScope telemetry(argc, argv, "truthfulness_audit");
 
   io::CliParser cli(
       "Audits truthfulness (Theorems 1/4) and individual rationality "

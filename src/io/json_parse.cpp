@@ -261,6 +261,14 @@ const std::vector<JsonValue>& JsonValue::as_array() const {
   return array_;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+  if (kind_ != Kind::kObject) {
+    throw InvalidArgumentError("JSON value is not an object");
+  }
+  return members_;
+}
+
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (kind_ != Kind::kObject) return nullptr;
   for (const auto& [name, value] : members_) {

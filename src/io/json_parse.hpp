@@ -38,6 +38,10 @@ class JsonValue {
   [[nodiscard]] std::int64_t as_int() const;  ///< number, checked integral
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  /// Object members in insertion (document) order; throws
+  /// InvalidArgumentError when the value is not an object.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  as_object() const;
 
   /// Object member, or nullptr when absent (or not an object).
   [[nodiscard]] const JsonValue* find(std::string_view key) const;

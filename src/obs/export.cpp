@@ -174,6 +174,53 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
   }
 }
 
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans,
+                        const std::map<std::string, std::string>& meta) {
+  io::JsonWriter json(os);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  // Metadata record naming the single process/thread every span lands on.
+  json.begin_object();
+  json.field("name", "process_name");
+  json.field("ph", "M");
+  json.field("pid", std::int64_t{1});
+  json.field("tid", std::int64_t{1});
+  json.key("args").begin_object();
+  json.field("name", "mcs");
+  json.end_object();
+  json.end_object();
+  for (const SpanRecord& span : spans) {
+    json.begin_object();
+    json.field("name", span.name);
+    json.field("cat", "mcs");
+    json.field("ph", "X");
+    json.field("ts", span.start_us);
+    json.field("dur", span.duration_us);
+    json.field("pid", std::int64_t{1});
+    json.field("tid", std::int64_t{1});
+    json.key("args").begin_object();
+    json.field("depth", static_cast<std::int64_t>(span.depth));
+    json.field("parent", static_cast<std::int64_t>(span.parent));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  if (!meta.empty()) {
+    json.key("otherData").begin_object();
+    for (const auto& [key, value] : meta) json.field(key, value);
+    json.end_object();
+  }
+  json.end_object();
+  os << '\n';
+}
+
+void write_chrome_trace(std::ostream& os, const TraceCollector& trace,
+                        const std::map<std::string, std::string>& meta) {
+  write_chrome_trace(os, trace.spans(), meta);
+}
+
 void render_trace_text(std::ostream& os, const TraceCollector& trace) {
   for (const SpanRecord& span : trace.spans()) {
     for (int i = 0; i < span.depth; ++i) os << "  ";

@@ -42,4 +42,16 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
 ///     payments                    7.8 ms
 void render_trace_text(std::ostream& os, const TraceCollector& trace);
 
+/// Chrome Trace Event Format (the JSON-object flavour with a "traceEvents"
+/// array of complete "X" events), loadable directly in Perfetto or
+/// chrome://tracing. One event per span, in the collector's preorder, with
+/// ts/dur in microseconds relative to the collector's epoch; depth and
+/// parent index travel in "args" so the exported tree is loss-free with
+/// respect to render_trace_text. `meta` lands under "otherData".
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans,
+                        const std::map<std::string, std::string>& meta = {});
+void write_chrome_trace(std::ostream& os, const TraceCollector& trace,
+                        const std::map<std::string, std::string>& meta = {});
+
 }  // namespace mcs::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/assert.hpp"
 
@@ -216,6 +217,47 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   for (const auto& [name, text] : help_) snap.help[name] = text;
   return snap;
+}
+
+// ------------------------------------------------------------- quantiles
+
+double estimate_quantile(const MetricsSnapshot::HistogramData& data,
+                         double q) {
+  if (data.count <= 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q <= 0.0) return data.min;
+  if (q >= 1.0) return data.max;
+  const double target = q * static_cast<double>(data.count);
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < data.bucket_counts.size(); ++b) {
+    const std::int64_t prev = cumulative;
+    cumulative += data.bucket_counts[b];
+    if (static_cast<double>(cumulative) < target || data.bucket_counts[b] == 0) {
+      continue;
+    }
+    const double lower = b == 0 ? data.min : data.boundaries[b - 1];
+    const double upper =
+        b < data.boundaries.size() ? data.boundaries[b] : data.max;
+    const double position = (target - static_cast<double>(prev)) /
+                            static_cast<double>(data.bucket_counts[b]);
+    const double estimate = lower + (upper - lower) * position;
+    return std::clamp(estimate, data.min, data.max);
+  }
+  return data.max;  // unreachable when counts are consistent
+}
+
+// -------------------------------------------------- headline counter set
+
+void preregister_headline_counters(MetricsRegistry& registry) {
+  registry.counter("matching.hungarian.iterations",
+                   "do-while relabel rounds inside the Hungarian augment_row");
+  registry.counter("matching.hungarian.augmenting_paths",
+                   "augmenting paths found by the Hungarian solver");
+  registry.counter("matching.flow.augmenting_paths",
+                   "SPFA augmentations in the min-cost-flow matcher");
+  registry.counter("auction.critical_value.probes",
+                   "wins(b)? evaluations during critical-value search");
+  registry.counter("auction.greedy.allocation_runs",
+                   "Algorithm-1 (online greedy allocation) executions");
 }
 
 // ------------------------------------------------------ current registry

@@ -165,6 +165,23 @@ class MetricsRegistry {
   std::map<std::string, std::string, std::less<>> help_;
 };
 
+/// Bucket-interpolated quantile estimate over an exported histogram
+/// (Prometheus histogram_quantile semantics, sharpened by the tracked
+/// extrema): the quantile rank is located in the cumulative bucket counts
+/// and interpolated linearly within its bucket. The first bucket's lower
+/// edge is the observed min, the overflow bucket's upper edge the observed
+/// max, and the result is clamped to [min, max]. q <= 0 returns min,
+/// q >= 1 returns max; an empty histogram returns NaN.
+[[nodiscard]] double estimate_quantile(
+    const MetricsSnapshot::HistogramData& data, double q);
+
+/// Registers the headline work counters (with their descriptions) so every
+/// telemetry report carries the same schema keys regardless of which code
+/// paths ran -- a zero then means "not exercised", never "metric removed".
+/// The CLI and the bench telemetry mains all call this; bench-diff relies
+/// on the stable key set.
+void preregister_headline_counters(MetricsRegistry& registry);
+
 /// Registry installed for the current thread, or nullptr (telemetry off).
 [[nodiscard]] MetricsRegistry* current_registry() noexcept;
 

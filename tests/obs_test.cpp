@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "io/json_parse.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 
@@ -385,6 +387,147 @@ TEST(MetricsRegistry, MergeAdoptsMissingHelp) {
   const MetricsSnapshot snap = dst.snapshot();
   EXPECT_EQ(snap.help.at("shared"), "dst text");   // destination wins
   EXPECT_EQ(snap.help.at("only.src"), "src only"); // adopted
+}
+
+// -------------------------------------------------------------- quantiles
+
+MetricsSnapshot::HistogramData snapshot_histogram(const Histogram& h) {
+  MetricsSnapshot::HistogramData data;
+  data.boundaries = h.boundaries();
+  data.bucket_counts = h.bucket_counts();
+  data.count = h.count();
+  data.sum = h.sum();
+  data.min = h.min();
+  data.max = h.max();
+  return data;
+}
+
+TEST(EstimateQuantile, ExactBucketBoundaryAndExtrema) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (const double v : {2.0, 4.0, 6.0, 8.0, 10.0}) h.observe(v);    // <= 10
+  for (const double v : {12.0, 14.0, 16.0, 18.0, 20.0}) h.observe(v);  // <= 20
+  const MetricsSnapshot::HistogramData data = snapshot_histogram(h);
+  // The p50 rank (5 of 10) lands exactly on the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 0.50), 10.0);
+  // q <= 0 / q >= 1 return the tracked extrema, not bucket edges.
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 1.0), 20.0);
+}
+
+TEST(EstimateQuantile, InterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (const double v : {2.0, 4.0, 6.0, 8.0, 10.0}) h.observe(v);
+  for (const double v : {12.0, 14.0, 16.0, 18.0, 20.0}) h.observe(v);
+  const MetricsSnapshot::HistogramData data = snapshot_histogram(h);
+  // Rank 7.5 of 10: halfway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 0.75), 15.0);
+  // The first bucket interpolates from the observed min, not from zero.
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 0.25), 2.0 + (10.0 - 2.0) * 0.5);
+}
+
+TEST(EstimateQuantile, OverflowBucketInterpolatesTowardMax) {
+  Histogram h({10.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  h.observe(25.0);
+  h.observe(35.0);
+  const MetricsSnapshot::HistogramData data = snapshot_histogram(h);
+  // Rank 3.96 of 4 lies in the +Inf bucket: interpolate between the last
+  // finite edge (10) and the observed max (35).
+  const double p99 = estimate_quantile(data, 0.99);
+  EXPECT_NEAR(p99, 10.0 + (35.0 - 10.0) * ((3.96 - 1.0) / 3.0), 1e-9);
+  EXPECT_LE(p99, data.max);
+  EXPECT_DOUBLE_EQ(estimate_quantile(data, 1.0), 35.0);
+}
+
+TEST(EstimateQuantile, EmptyHistogramIsNaN) {
+  Histogram h({10.0});
+  const MetricsSnapshot::HistogramData data = snapshot_histogram(h);
+  EXPECT_TRUE(std::isnan(estimate_quantile(data, 0.5)));
+}
+
+// ----------------------------------------------------------- chrome trace
+
+TEST(ChromeTrace, GoldenOutput) {
+  const std::vector<SpanRecord> spans{
+      {"run", 0, -1, 0, 100},
+      {"allocation", 1, 0, 10, 40},
+      {"payments", 1, 0, 60, 30},
+  };
+  std::ostringstream out;
+  write_chrome_trace(out, spans, {{"tool", "obs_test"}});
+  EXPECT_EQ(
+      out.str(),
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"mcs\"}},"
+      "{\"name\":\"run\",\"cat\":\"mcs\",\"ph\":\"X\",\"ts\":0,\"dur\":100,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"depth\":0,\"parent\":-1}},"
+      "{\"name\":\"allocation\",\"cat\":\"mcs\",\"ph\":\"X\",\"ts\":10,"
+      "\"dur\":40,\"pid\":1,\"tid\":1,\"args\":{\"depth\":1,\"parent\":0}},"
+      "{\"name\":\"payments\",\"cat\":\"mcs\",\"ph\":\"X\",\"ts\":60,"
+      "\"dur\":30,\"pid\":1,\"tid\":1,\"args\":{\"depth\":1,\"parent\":0}}"
+      "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"obs_test\"}}\n");
+}
+
+TEST(ChromeTrace, LiveCollectorMatchesRenderTraceText) {
+  TraceCollector trace;
+  {
+    const ScopedTrace guard(&trace);
+    const TraceSpan root("run");
+    {
+      const TraceSpan child("allocation");
+      (void)child;
+    }
+    const TraceSpan sibling("payments");
+    (void)sibling;
+  }
+  std::ostringstream chrome;
+  write_chrome_trace(chrome, trace);
+  const io::JsonValue doc = io::parse_json(chrome.str());  // valid JSON
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u + trace.spans().size());
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+
+  // The event sequence is the same preorder render_trace_text walks, with
+  // identical names, depths, and parent links.
+  std::ostringstream text;
+  render_trace_text(text, trace);
+  std::istringstream lines(text.str());
+  std::string line;
+  std::int64_t previous_ts = 0;
+  for (std::size_t i = 0; i < trace.spans().size(); ++i) {
+    const io::JsonValue& event = events[i + 1];
+    ASSERT_TRUE(std::getline(lines, line));
+    const std::size_t indent = line.find_first_not_of(' ');
+    EXPECT_EQ(static_cast<std::int64_t>(indent) / 2,
+              event.at("args").at("depth").as_int())
+        << line;
+    EXPECT_EQ(line.substr(indent, line.find("  ", indent) - indent),
+              event.at("name").as_string());
+    EXPECT_EQ(event.at("args").at("parent").as_int(),
+              trace.spans()[i].parent);
+    // Complete events arrive in open order: timestamps never go backwards.
+    EXPECT_GE(event.at("ts").as_int(), previous_ts);
+    previous_ts = event.at("ts").as_int();
+  }
+  EXPECT_FALSE(std::getline(lines, line));  // text had no extra spans
+}
+
+// ------------------------------------------------- headline preregistration
+
+TEST(PreregisterHeadlineCounters, StableKeySetWithHelp) {
+  MetricsRegistry registry;
+  preregister_headline_counters(registry);
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const char* name :
+       {"matching.hungarian.iterations", "matching.hungarian.augmenting_paths",
+        "matching.flow.augmenting_paths", "auction.critical_value.probes",
+        "auction.greedy.allocation_runs"}) {
+    ASSERT_TRUE(snap.counters.count(name) == 1) << name;
+    EXPECT_EQ(snap.counters.at(name), 0) << name;
+    EXPECT_FALSE(snap.help.at(name).empty()) << name;
+  }
 }
 
 TEST(Exporters, TraceTextIndentsByDepth) {

@@ -23,6 +23,7 @@
 
 #include <fstream>
 
+#include "analysis/bench_diff.hpp"
 #include "analysis/flight.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report_json.hpp"
@@ -47,34 +48,32 @@ namespace {
 using namespace mcs;
 
 /// Telemetry session for a subcommand: installs a registry + trace
-/// collector for the calling thread when --metrics-out or --trace asked
-/// for them (otherwise everything stays a no-op), and writes the report /
-/// renders the trace in finish().
+/// collector for the calling thread when --metrics-out, --trace, or
+/// --trace-out asked for them (otherwise everything stays a no-op), and
+/// writes the report(s) / renders the trace in finish().
 class CliTelemetry {
  public:
-  CliTelemetry(std::string metrics_path, bool trace_to_stdout)
+  CliTelemetry(std::string metrics_path, bool trace_to_stdout,
+               std::string trace_path = {})
       : metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)),
         trace_to_stdout_(trace_to_stdout) {
     if (!enabled()) return;
     registry_guard_.emplace(&registry_);
     trace_guard_.emplace(&trace_);
     // Pre-register the headline counters so every report carries the same
     // schema keys regardless of which mechanism ran (zero means "this run
-    // never exercised that path") -- the smoke test and downstream perf
-    // tooling key on their presence.
-    registry_.counter("matching.hungarian.iterations");
-    registry_.counter("matching.hungarian.augmenting_paths");
-    registry_.counter("matching.flow.augmenting_paths");
-    registry_.counter("auction.critical_value.probes");
-    registry_.counter("auction.greedy.allocation_runs");
+    // never exercised that path") -- the smoke test and bench-diff key on
+    // their presence.
+    obs::preregister_headline_counters(registry_);
   }
 
   [[nodiscard]] bool enabled() const {
-    return !metrics_path_.empty() || trace_to_stdout_;
+    return !metrics_path_.empty() || !trace_path_.empty() || trace_to_stdout_;
   }
 
-  /// Writes the JSON report and/or prints the span tree. Must be called
-  /// after every traced span has closed.
+  /// Writes the JSON report(s) and/or prints the span tree. Must be
+  /// called after every traced span has closed.
   void finish(const std::map<std::string, std::string>& meta) {
     if (!enabled()) return;
     trace_guard_.reset();
@@ -82,6 +81,13 @@ class CliTelemetry {
     if (trace_to_stdout_) {
       std::cout << "trace:\n";
       obs::render_trace_text(std::cout, trace_);
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (!out) throw IoError("cannot open trace file: " + trace_path_);
+      obs::write_chrome_trace(out, trace_, meta);
+      std::cout << "chrome trace written to " << trace_path_
+                << " (load in Perfetto or chrome://tracing)\n";
     }
     if (metrics_path_.empty()) return;
     std::ofstream out(metrics_path_);
@@ -92,6 +98,7 @@ class CliTelemetry {
 
  private:
   std::string metrics_path_;
+  std::string trace_path_;
   bool trace_to_stdout_;
   obs::MetricsRegistry registry_;
   obs::TraceCollector trace_;
@@ -112,6 +119,9 @@ Subcommands:
   report     all figures as one self-contained HTML file
   replay     re-execute a recorded decision log and verify the outcome
   explain    narrate one phone's round from a recorded decision log
+  bench-diff compare two bench telemetry reports: exact on deterministic
+             work counters, p50/p95/p99 ratios on duration histograms;
+             exit 1 on regression
 
 Run 'mcs_cli <subcommand> --help' for the flags of each subcommand.
 )";
@@ -200,10 +210,14 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_string("metrics-out", "",
                  "write a telemetry report (counters, histograms, trace) as JSON");
   cli.add_switch("trace", "print the nested phase-timing tree");
+  cli.add_string("trace-out", "",
+                 "write the span tree in Chrome Trace Event Format "
+                 "(Perfetto / chrome://tracing)");
   if (!cli.parse(argc, argv)) return 0;
 
   CliTelemetry telemetry(cli.get_string("metrics-out"),
-                         cli.get_switch("trace"));
+                         cli.get_switch("trace"),
+                         cli.get_string("trace-out"));
 
   auction::Outcome outcome;
   analysis::RoundMetrics metrics;
@@ -338,6 +352,9 @@ int cmd_figure(int argc, const char* const* argv) {
   cli.add_string("metrics-out", "",
                  "write a telemetry report (counters, histograms, trace) as JSON");
   cli.add_switch("trace", "print the nested phase-timing tree");
+  cli.add_string("trace-out", "",
+                 "write the span tree in Chrome Trace Event Format "
+                 "(Perfetto / chrome://tracing)");
   if (!cli.parse(argc, argv)) return 0;
 
   const sim::FigureSpec& spec = sim::figure(cli.get_string("id"));
@@ -346,7 +363,8 @@ int cmd_figure(int argc, const char* const* argv) {
   base.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   CliTelemetry telemetry(cli.get_string("metrics-out"),
-                         cli.get_switch("trace"));
+                         cli.get_switch("trace"),
+                         cli.get_string("trace-out"));
   std::cout << spec.id << ": " << spec.title << '\n';
   sim::FigureSeries series;
   {
@@ -392,6 +410,63 @@ int cmd_replay(int argc, const char* const* argv) {
   return 1;
 }
 
+int cmd_bench_diff(int argc, const char* const* argv) {
+  // Accept "bench-diff <baseline> <candidate> [--flags]" with the two
+  // leading positionals, or fully flagged --baseline/--candidate.
+  std::vector<const char*> rest;
+  std::vector<std::string> positionals;
+  rest.push_back(argc > 0 ? argv[0] : "bench-diff");
+  int i = 1;
+  for (; i < argc && positionals.size() < 2; ++i) {
+    if (argv[i][0] == '-') break;
+    positionals.emplace_back(argv[i]);
+  }
+  for (; i < argc; ++i) rest.push_back(argv[i]);
+
+  io::CliParser cli(
+      "Compares two bench telemetry reports (mcs.bench_telemetry.v1 or "
+      "mcs.telemetry.v1): deterministic work counters and non-duration "
+      "histograms must match exactly; duration (*_us) histograms are "
+      "compared as p50/p95/p99 ratios against a threshold. Exit 0 = no "
+      "regression, 1 = regression.");
+  cli.add_string("baseline", positionals.empty() ? "" : positionals[0],
+                 "baseline telemetry JSON (e.g. BENCH_telemetry.json)");
+  cli.add_string("candidate", positionals.size() < 2 ? "" : positionals[1],
+                 "candidate telemetry JSON to judge");
+  cli.add_double("timing-threshold", 1.5,
+                 "flag a duration histogram when a quantile ratio "
+                 "(candidate/baseline) exceeds this");
+  cli.add_switch("gate-timings",
+                 "timing regressions also fail the verdict (default: "
+                 "report-only; counter drift always fails)");
+  cli.add_string("json", "", "also write the verdict as mcs.bench_diff.v1 JSON");
+  if (!cli.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+
+  const std::string baseline = cli.get_string("baseline");
+  const std::string candidate = cli.get_string("candidate");
+  if (baseline.empty() || candidate.empty()) {
+    throw InvalidArgumentError(
+        "usage: mcs_cli bench-diff <baseline.json> <candidate.json>");
+  }
+  analysis::BenchDiffOptions options;
+  options.timing_ratio_threshold = cli.get_double("timing-threshold");
+  options.gate_timings = cli.get_switch("gate-timings");
+
+  const analysis::BenchDiffReport report =
+      analysis::diff_bench_telemetry_files(baseline, candidate, options);
+  analysis::write_bench_diff_markdown(std::cout, report, options);
+  if (const std::string json_path = cli.get_string("json");
+      !json_path.empty()) {
+    std::ofstream json_file(json_path);
+    if (!json_file) {
+      throw IoError("cannot open JSON verdict file: " + json_path);
+    }
+    analysis::write_bench_diff_json(json_file, report, options);
+    std::cout << "\nJSON verdict written to " << json_path << '\n';
+  }
+  return report.regression(options) ? 1 : 0;
+}
+
 int cmd_explain(int argc, const char* const* argv) {
   std::vector<const char*> rest;
   const std::string positional = take_leading_positional(argc, argv, rest);
@@ -431,6 +506,7 @@ int main(int argc, char** argv) {
     if (subcommand == "report") return cmd_report(argc - 1, argv + 1);
     if (subcommand == "replay") return cmd_replay(argc - 1, argv + 1);
     if (subcommand == "explain") return cmd_explain(argc - 1, argv + 1);
+    if (subcommand == "bench-diff") return cmd_bench_diff(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
       print_usage();
       return 0;

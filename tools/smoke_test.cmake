@@ -66,7 +66,58 @@ else()
     message(FATAL_ERROR "telemetry report lacks the schema marker")
   endif()
 endif()
+
+# Perf-regression sentinel: two telemetry reports of the same seeded run
+# must self-compare clean (the work counters are deterministic), and the
+# markdown verdict must land on stdout.
+set(METRICS2 ${WORKDIR}/cli_smoke_metrics2.json)
+run_cli(run --file ${SCENARIO} --mechanism online --metrics-out ${METRICS2})
+execute_process(COMMAND ${CLI} bench-diff ${METRICS} ${METRICS2}
+                        --json ${WORKDIR}/cli_smoke_bench_diff.json
+                WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE diff_code
+                OUTPUT_VARIABLE diff_out
+                ERROR_VARIABLE diff_err)
+if(NOT diff_code EQUAL 0)
+  message(FATAL_ERROR "bench-diff self-compare regressed (${diff_code}):\n${diff_out}\n${diff_err}")
+endif()
+if(NOT diff_out MATCHES "bench-diff: OK")
+  message(FATAL_ERROR "bench-diff verdict missing from stdout:\n${diff_out}")
+endif()
+file(READ ${WORKDIR}/cli_smoke_bench_diff.json diff_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON diff_verdict GET "${diff_json}" verdict)
+  if(NOT diff_verdict STREQUAL "ok")
+    message(FATAL_ERROR "bench-diff JSON verdict: ${diff_verdict}")
+  endif()
+endif()
+file(REMOVE ${WORKDIR}/cli_smoke_bench_diff.json)
+file(REMOVE ${METRICS2})
 file(REMOVE ${METRICS})
+
+# Chrome trace export: --trace-out must write a trace JSON whose
+# traceEvents carry the pipeline spans.
+set(TRACE ${WORKDIR}/cli_smoke_trace.json)
+run_cli(run --file ${SCENARIO} --mechanism online --trace-out ${TRACE})
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "run --trace-out did not write the chrome trace")
+endif()
+file(READ ${TRACE} trace_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON trace_events_len LENGTH "${trace_json}" traceEvents)
+  if(trace_events_len LESS 2)
+    message(FATAL_ERROR "chrome trace has no span events")
+  endif()
+  string(JSON first_name GET "${trace_json}" traceEvents 1 name)
+  if(NOT first_name STREQUAL "cli.run")
+    message(FATAL_ERROR "chrome trace root span is ${first_name}, want cli.run")
+  endif()
+else()
+  if(NOT trace_json MATCHES "\"traceEvents\"")
+    message(FATAL_ERROR "chrome trace lacks traceEvents")
+  endif()
+endif()
+file(REMOVE ${TRACE})
 
 run_cli(audit --file ${SCENARIO} --mechanism offline)
 
