@@ -1,0 +1,83 @@
+// Serving-path microbenches: end-to-end throughput of the sharded
+// streaming engine across shard counts (submit -> queue -> worker ->
+// RoundMachine -> drain), plus the JSONL wire codec hot path.
+//
+// Counter-pass determinism: block admission means every generated event is
+// processed exactly once, so the serve.events.* counters merged at drain
+// are identical run to run and for every shard count -- safe for the exact
+// comparison `mcs_cli bench-diff` applies to the committed baseline.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/event.hpp"
+#include "serve/loadgen.hpp"
+#include "telemetry_main.hpp"
+
+namespace {
+
+using namespace mcs;
+
+std::vector<serve::ServeEvent> canned_events(int rounds) {
+  serve::LoadGenConfig load;
+  load.rounds = rounds;
+  load.seed = 7;
+  std::vector<serve::ServeEvent> events;
+  serve::generate_events(load, [&](const serve::ServeEvent& event) {
+    events.push_back(event);
+    return true;
+  });
+  return events;
+}
+
+void BM_ServeEngine(benchmark::State& state) {
+  const std::vector<serve::ServeEvent> events = canned_events(16);
+  for (auto _ : state) {
+    serve::ServeConfig config;
+    config.shards = static_cast<int>(state.range(0));
+    config.admission = serve::ServeConfig::Admission::kBlock;
+    serve::ServeEngine engine(config);
+    for (const serve::ServeEvent& event : events) engine.submit(event);
+    engine.drain();
+    benchmark::DoNotOptimize(engine.stats());
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_ServeEngine)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ServeEncode(benchmark::State& state) {
+  const std::vector<serve::ServeEvent> events = canned_events(4);
+  for (auto _ : state) {
+    for (const serve::ServeEvent& event : events) {
+      benchmark::DoNotOptimize(serve::encode_serve_event(event));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_ServeEncode);
+
+void BM_ServeDecode(benchmark::State& state) {
+  std::vector<std::string> lines;
+  for (const serve::ServeEvent& event : canned_events(4)) {
+    lines.push_back(serve::encode_serve_event(event));
+  }
+  for (auto _ : state) {
+    for (const std::string& line : lines) {
+      benchmark::DoNotOptimize(serve::decode_serve_line(line));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ServeDecode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mcs_bench::telemetry_main(argc, argv, "perf_serve");
+}

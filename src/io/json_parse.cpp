@@ -13,6 +13,13 @@ namespace {
 
 class Parser {
  public:
+  /// Containers deeper than this are rejected. The serve decoder feeds
+  /// untrusted streams through parse_json, and the parser recurses per
+  /// nesting level, so without a cap a hostile "[[[[..." document converts
+  /// directly into stack exhaustion. 128 is far beyond anything the
+  /// library's own writers emit (JSONL lines nest 3-4 deep).
+  static constexpr int kMaxDepth = 128;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -52,6 +59,24 @@ class Parser {
     return true;
   }
 
+  /// RAII nesting guard: parse_object/parse_array recurse through
+  /// parse_value, so container depth equals guard nesting.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue parse_value() {
     skip_whitespace();
     const char ch = peek();
@@ -77,6 +102,7 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     std::vector<std::pair<std::string, JsonValue>> members;
     skip_whitespace();
@@ -104,6 +130,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     std::vector<JsonValue> items;
     skip_whitespace();
@@ -217,11 +244,16 @@ class Parser {
       pos_ = start;
       fail("malformed number '" + token + "'");
     }
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number out of range '" + token + "'");
+    }
     return JsonValue::make_number(value);
   }
 
   std::string_view text_;
   std::size_t pos_{0};
+  int depth_{0};
 };
 
 }  // namespace

@@ -75,7 +75,9 @@ class JsonValue {
 
 /// Parses one complete JSON document; trailing whitespace is allowed,
 /// trailing garbage is not. Throws InvalidArgumentError with an offset on
-/// malformed input.
+/// malformed input. Safe on untrusted bytes: truncated documents, invalid
+/// escapes, non-finite numbers, and containers nested deeper than 128
+/// levels all produce a clean error, never a crash.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace mcs::io

@@ -34,12 +34,8 @@ std::string_view event_counter_name(EventKind kind) {
 
 }  // namespace
 
-std::vector<RoundEvent> RoundResult::events_of(EventKind kind) const {
-  std::vector<RoundEvent> filtered;
-  for (const RoundEvent& event : transcript) {
-    if (event.kind == kind) filtered.push_back(event);
-  }
-  return filtered;
+RoundEventView RoundResult::events_of(EventKind kind) const {
+  return RoundEventView(transcript, kind);
 }
 
 RoundResult run_round(const model::Scenario& scenario,

@@ -10,6 +10,8 @@
 // batch OnlineGreedyMechanism on the same inputs.
 #pragma once
 
+#include <cstddef>
+#include <iterator>
 #include <vector>
 
 #include "auction/outcome.hpp"
@@ -18,12 +20,92 @@
 
 namespace mcs::platform {
 
+/// Lazy, allocation-free view of the transcript entries of one EventKind.
+/// Borrows the transcript it was built from: the view (and its iterators)
+/// must not outlive the RoundResult. Iteration order is transcript order.
+class RoundEventView {
+ public:
+  class iterator {
+   public:
+    using value_type = RoundEvent;
+    using reference = const RoundEvent&;
+    using pointer = const RoundEvent*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+    iterator(const std::vector<RoundEvent>* transcript, std::size_t index,
+             EventKind kind)
+        : transcript_(transcript), index_(index), kind_(kind) {
+      skip_to_match();
+    }
+
+    reference operator*() const { return (*transcript_)[index_]; }
+    pointer operator->() const { return &(*transcript_)[index_]; }
+
+    iterator& operator++() {
+      ++index_;
+      skip_to_match();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    void skip_to_match() {
+      while (index_ < transcript_->size() &&
+             (*transcript_)[index_].kind != kind_) {
+        ++index_;
+      }
+    }
+
+    const std::vector<RoundEvent>* transcript_{nullptr};
+    std::size_t index_{0};
+    EventKind kind_{EventKind::kTaskAnnounced};
+  };
+
+  RoundEventView(const std::vector<RoundEvent>& transcript, EventKind kind)
+      : transcript_(&transcript), kind_(kind) {}
+
+  [[nodiscard]] iterator begin() const {
+    return iterator(transcript_, 0, kind_);
+  }
+  [[nodiscard]] iterator end() const {
+    return iterator(transcript_, transcript_->size(), kind_);
+  }
+
+  /// Number of matching entries (walks the transcript; O(transcript)).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const RoundEvent& event : *transcript_) {
+      if (event.kind == kind_) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] bool empty() const { return begin() == end(); }
+  /// First matching entry; requires !empty().
+  [[nodiscard]] const RoundEvent& front() const { return *begin(); }
+
+ private:
+  const std::vector<RoundEvent>* transcript_;
+  EventKind kind_;
+};
+
 struct RoundResult {
   auction::Outcome outcome;
   std::vector<RoundEvent> transcript;
 
-  /// Transcript entries of one kind (testing/inspection helper).
-  [[nodiscard]] std::vector<RoundEvent> events_of(EventKind kind) const;
+  /// Transcript entries of one kind (testing/inspection helper). Returns a
+  /// borrowed view -- no events are copied; keep the RoundResult alive
+  /// while iterating.
+  [[nodiscard]] RoundEventView events_of(EventKind kind) const;
 };
 
 /// Runs the round. Bids rejected by the platform reserve produce no

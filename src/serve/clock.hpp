@@ -1,0 +1,59 @@
+// Deterministic virtual clock of one streamed round.
+//
+// The serving engine never reads wall time: the stream itself carries time
+// as slot_tick events, so replaying the same event file always yields the
+// same interleaving of arrivals and slot closures -- the property the
+// streaming/batch equivalence oracle rests on. VirtualClock validates that
+// discipline: intra-slot events must name the current slot, and ticks must
+// close slots 1..m in order. Violations throw InvalidArgumentError (the
+// stream is untrusted input, not a programming error).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mcs::serve {
+
+class VirtualClock {
+ public:
+  /// A round of `horizon` slots; time starts inside slot 1.
+  explicit VirtualClock(Slot::rep_type horizon) : horizon_(horizon) {
+    if (horizon < 1) {
+      throw InvalidArgumentError("virtual clock requires a horizon >= 1");
+    }
+  }
+
+  /// Slot the round is currently inside (horizon + 1 once finished).
+  [[nodiscard]] Slot now() const { return Slot{current_}; }
+  [[nodiscard]] Slot::rep_type horizon() const { return horizon_; }
+
+  /// True once every slot of the round has been ticked closed.
+  [[nodiscard]] bool finished() const { return current_ > horizon_; }
+
+  /// Validates that an intra-slot event (task arrival, bid) names the slot
+  /// the clock is currently inside.
+  void expect_now(Slot slot) const {
+    if (finished()) {
+      throw InvalidArgumentError("event after the round's last slot_tick");
+    }
+    if (slot != now()) {
+      throw InvalidArgumentError(
+          "event names slot " + std::to_string(slot.value()) +
+          " but the virtual clock is inside slot " + std::to_string(current_));
+    }
+  }
+
+  /// Closes `slot` (must be the current one) and advances.
+  void tick(Slot slot) {
+    expect_now(slot);
+    ++current_;
+  }
+
+ private:
+  Slot::rep_type horizon_;
+  Slot::rep_type current_{1};
+};
+
+}  // namespace mcs::serve

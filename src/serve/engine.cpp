@@ -1,0 +1,278 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace mcs::serve {
+
+namespace {
+
+/// Counter name of one processed event kind.
+std::string_view event_counter_name(ServeEventKind kind) {
+  switch (kind) {
+    case ServeEventKind::kRoundOpen:
+      return "serve.events.round_open";
+    case ServeEventKind::kTaskArrived:
+      return "serve.events.task_arrived";
+    case ServeEventKind::kBidSubmitted:
+      return "serve.events.bid_submitted";
+    case ServeEventKind::kSlotTick:
+      return "serve.events.slot_tick";
+    case ServeEventKind::kRoundClose:
+      return "serve.events.round_close";
+  }
+  return "serve.events.unknown";
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (shards < 1) throw InvalidArgumentError("serve: shards must be >= 1");
+  if (queue_capacity < 1) {
+    throw InvalidArgumentError("serve: queue_capacity must be >= 1");
+  }
+}
+
+std::string_view to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kRejectedQueueFull:
+      return "rejected:queue-full";
+    case SubmitStatus::kRejectedStopped:
+      return "rejected:stopped";
+  }
+  return "unknown";
+}
+
+int shard_of_round(std::int64_t round, int shards) {
+  // splitmix64 finalizer: deterministic and well-mixed regardless of the
+  // platform's std::hash.
+  auto x = static_cast<std::uint64_t>(round);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(shards));
+}
+
+// --------------------------------------------------------- bounded queue
+
+bool ServeEngine::BoundedQueue::push_block(const ServeEvent& event) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock,
+                 [&] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(event);
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ServeEngine::BoundedQueue::try_push(const ServeEvent& event) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(event);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<ServeEvent> ServeEngine::BoundedQueue::pop() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  ServeEvent event = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return event;
+}
+
+void ServeEngine::BoundedQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+// ---------------------------------------------------------------- engine
+
+ServeEngine::ServeEngine(ServeConfig config)
+    : config_(std::move(config)), parent_registry_(obs::current_registry()) {
+  config_.validate();
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+  // Start the workers only after every shard exists (shard_of_round may
+  // route to any of them from the first submit on).
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] {
+      worker_main(*raw);
+    });
+  }
+}
+
+ServeEngine::~ServeEngine() {
+  if (drained_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+SubmitStatus ServeEngine::submit(const ServeEvent& event) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return SubmitStatus::kRejectedStopped;
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(
+      shard_of_round(event.round, config_.shards))];
+  const bool accepted = config_.admission == ServeConfig::Admission::kBlock
+                            ? shard.queue.push_block(event)
+                            : shard.queue.try_push(event);
+  if (!accepted) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return SubmitStatus::kRejectedStopped;
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitStatus::kRejectedQueueFull;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return SubmitStatus::kAccepted;
+}
+
+void ServeEngine::worker_main(Shard& shard) {
+  // Telemetry: record into the shard's own registry (merged at drain) so
+  // reduction stays deterministic; with telemetry off nothing installs and
+  // the whole path stays on the no-op fast branch.
+  std::optional<obs::ScopedRegistry> guard;
+  if (parent_registry_ != nullptr) guard.emplace(&shard.registry);
+  const obs::TraceSpan span("serve.shard");
+
+  std::unordered_map<std::int64_t, RoundMachine> machines;
+  while (std::optional<ServeEvent> event = shard.queue.pop()) {
+    if (!shard.error.empty()) continue;  // poisoned: drain without work
+    try {
+      process_event(shard, machines, *event);
+    } catch (const Error& e) {
+      if (config_.admission == ServeConfig::Admission::kReject) {
+        // Shedding already made the stream lossy; a hole in one round's
+        // event sequence drops that round, not the whole engine.
+        machines.erase(event->round);
+        ++shard.stats.rounds_corrupted;
+        obs::count("serve.rounds_corrupted");
+      } else {
+        shard.error = e.what();
+      }
+    }
+  }
+  shard.stats.rounds_abandoned +=
+      static_cast<std::int64_t>(machines.size());
+  if (!machines.empty()) {
+    obs::count("serve.rounds_abandoned",
+               static_cast<std::int64_t>(machines.size()));
+  }
+}
+
+void ServeEngine::process_event(
+    Shard& shard, std::unordered_map<std::int64_t, RoundMachine>& machines,
+    const ServeEvent& event) {
+  ++shard.stats.processed;
+  obs::count(event_counter_name(event.kind));
+
+  if (event.kind == ServeEventKind::kRoundOpen) {
+    if (machines.contains(event.round)) {
+      throw InvalidArgumentError("serve stream, round " +
+                                 std::to_string(event.round) +
+                                 ": duplicate round_open");
+    }
+    machines.emplace(event.round, RoundMachine(event, config_.greedy));
+    return;
+  }
+
+  const auto it = machines.find(event.round);
+  if (it == machines.end()) {
+    if (config_.admission == ServeConfig::Admission::kReject) {
+      // The round's open (or the whole round) was shed; drop silently.
+      ++shard.stats.orphaned_events;
+      obs::count("serve.events.orphaned");
+      return;
+    }
+    throw InvalidArgumentError(
+        "serve stream, round " + std::to_string(event.round) + ": " +
+        std::string(to_string(event.kind)) + " for a round never opened");
+  }
+  if (it->second.apply(event)) {
+    RoundOutcome outcome = it->second.take_outcome();
+    machines.erase(it);
+    ++shard.stats.rounds_completed;
+    shard.stats.tasks_announced += outcome.tasks_announced;
+    shard.stats.bids_admitted += outcome.bids_admitted;
+    shard.stats.bids_rejected_reserve += outcome.bids_rejected;
+    shard.stats.total_paid += outcome.total_paid;
+    obs::count("serve.payments_micros", outcome.total_paid.micros());
+    shard.outcomes.push_back(std::move(outcome));
+  }
+}
+
+void ServeEngine::drain() {
+  if (drained_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Deterministic reduction: fold shard registries and stats in shard
+  // order (merge is associative/commutative on counters and histograms,
+  // so the totals equal a single-threaded run over the same events).
+  for (auto& shard : shards_) {
+    if (parent_registry_ != nullptr) parent_registry_->merge(shard->registry);
+    totals_.processed += shard->stats.processed;
+    totals_.rounds_completed += shard->stats.rounds_completed;
+    totals_.rounds_abandoned += shard->stats.rounds_abandoned;
+    totals_.orphaned_events += shard->stats.orphaned_events;
+    totals_.rounds_corrupted += shard->stats.rounds_corrupted;
+    totals_.tasks_announced += shard->stats.tasks_announced;
+    totals_.bids_admitted += shard->stats.bids_admitted;
+    totals_.bids_rejected_reserve += shard->stats.bids_rejected_reserve;
+    totals_.total_paid += shard->stats.total_paid;
+  }
+  totals_.submitted = submitted_.load(std::memory_order_relaxed);
+  totals_.rejected_backpressure = rejected_.load(std::memory_order_relaxed);
+  drained_ = true;
+  for (const auto& shard : shards_) {
+    if (!shard->error.empty()) {
+      throw InvalidArgumentError("serve engine: " + shard->error);
+    }
+  }
+}
+
+std::vector<RoundOutcome> ServeEngine::take_outcomes() {
+  MCS_EXPECTS(drained_, "take_outcomes requires drain()");
+  std::vector<RoundOutcome> all;
+  for (auto& shard : shards_) {
+    for (RoundOutcome& outcome : shard->outcomes) {
+      all.push_back(std::move(outcome));
+    }
+    shard->outcomes.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RoundOutcome& a, const RoundOutcome& b) {
+              return a.round < b.round;
+            });
+  return all;
+}
+
+const ServeStats& ServeEngine::stats() const {
+  MCS_EXPECTS(drained_, "stats requires drain()");
+  return totals_;
+}
+
+}  // namespace mcs::serve

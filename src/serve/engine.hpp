@@ -1,0 +1,176 @@
+// The sharded, event-driven streaming auction engine.
+//
+// Rounds are independent auctions, so the engine scales horizontally by
+// hashing each event's round id onto one of N shards; every shard owns a
+// bounded MPSC queue and one worker thread that drives the per-round
+// RoundMachines to completion. Determinism: a round's events are consumed
+// in submission order by exactly one worker, so the merged outcomes (and
+// the merged per-shard work counters) are identical for any shard count --
+// the same reduction identity the parallel simulator relies on.
+//
+// Backpressure is an explicit admission-control policy, chosen at
+// construction:
+//   * kBlock  -- submit() waits for queue space (lossless ingestion; the
+//                producer absorbs the backpressure),
+//   * kReject -- submit() returns kRejectedQueueFull immediately and the
+//                event is dropped (the caller absorbs it; load shedding).
+//
+// Telemetry: when a MetricsRegistry is installed on the constructing
+// thread, each worker records into its own shard registry and drain()
+// folds them into the installed one via the deterministic registry merge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "auction/online_greedy.hpp"
+#include "obs/metrics.hpp"
+#include "serve/event.hpp"
+#include "serve/round_machine.hpp"
+
+namespace mcs::serve {
+
+struct ServeConfig {
+  /// Worker shards; rounds are hashed across them.
+  int shards = 1;
+  /// Bounded depth of each shard's event queue.
+  std::size_t queue_capacity = 1024;
+
+  /// The admission policy also fixes how workers treat broken round
+  /// streams: under kBlock nothing is ever shed, so a hole in a round's
+  /// event sequence is a malformed stream and fails the run; under kReject
+  /// holes are the expected cost of shedding, so orphaned events are
+  /// dropped and the affected round is abandoned, both counted in stats.
+  enum class Admission {
+    kBlock,   ///< submit() blocks until the shard queue has space
+    kReject,  ///< submit() fails fast with kRejectedQueueFull
+  };
+  Admission admission = Admission::kBlock;
+
+  /// Mechanism knobs applied to every round (reserve, profitability, ...).
+  auction::OnlineGreedyConfig greedy;
+
+  /// Throws InvalidArgumentError when out of domain.
+  void validate() const;
+};
+
+/// Admission verdict of one submit() call.
+enum class SubmitStatus {
+  kAccepted,          ///< enqueued on its shard
+  kRejectedQueueFull, ///< kReject policy and the shard queue was full
+  kRejectedStopped,   ///< engine already draining / shut down
+};
+
+[[nodiscard]] std::string_view to_string(SubmitStatus status);
+
+/// Aggregated across all shards; available after drain().
+struct ServeStats {
+  std::int64_t submitted{0};             ///< events accepted by submit()
+  std::int64_t rejected_backpressure{0}; ///< kRejectedQueueFull verdicts
+  std::int64_t processed{0};             ///< events consumed by workers
+  std::int64_t rounds_completed{0};
+  std::int64_t rounds_abandoned{0};  ///< open at shutdown, never closed
+  /// kReject only: events whose round was never opened (its round_open was
+  /// shed) -- dropped, not fatal.
+  std::int64_t orphaned_events{0};
+  /// kReject only: rounds dropped mid-flight because shedding punched a
+  /// hole in their event sequence (e.g. a lost slot_tick).
+  std::int64_t rounds_corrupted{0};
+  std::int64_t tasks_announced{0};
+  std::int64_t bids_admitted{0};
+  std::int64_t bids_rejected_reserve{0};
+  Money total_paid;
+};
+
+/// Deterministic shard assignment of a round (splitmix64 of the round id,
+/// independent of std::hash so streams replay identically everywhere).
+[[nodiscard]] int shard_of_round(std::int64_t round, int shards);
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeConfig config);
+  /// Joins the workers; pending events are still drained, but outcomes and
+  /// stats of an un-drained engine are discarded.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  [[nodiscard]] const ServeConfig& config() const { return config_; }
+
+  /// Routes one event to its shard. Thread-safe (any number of producers).
+  SubmitStatus submit(const ServeEvent& event);
+
+  /// Graceful shutdown: closes the queues, waits for every queued event to
+  /// be processed, joins the workers, merges shard telemetry into the
+  /// registry installed at construction, and aggregates stats. Idempotent.
+  /// Throws InvalidArgumentError when any shard hit a stream error (first
+  /// error by shard index).
+  void drain();
+
+  /// Completed rounds, sorted by round id. Requires drain(); moves out.
+  [[nodiscard]] std::vector<RoundOutcome> take_outcomes();
+
+  /// Aggregated stats. Requires drain().
+  [[nodiscard]] const ServeStats& stats() const;
+
+ private:
+  /// Bounded MPSC queue: many producers (submit), one consumer (worker).
+  class BoundedQueue {
+   public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Blocks until space; false when the queue was closed meanwhile.
+    bool push_block(const ServeEvent& event);
+    /// Fails fast: false when full or closed.
+    bool try_push(const ServeEvent& event);
+    /// Blocks for the next event; nullopt when closed and empty.
+    std::optional<ServeEvent> pop();
+    void close();
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<ServeEvent> items_;
+    std::size_t capacity_;
+    bool closed_{false};
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+    BoundedQueue queue;
+    std::thread worker;
+    obs::MetricsRegistry registry;  ///< used only when telemetry is on
+    std::vector<RoundOutcome> outcomes;
+    ServeStats stats;    ///< worker-local; folded into totals at drain
+    std::string error;   ///< first stream error, empty = clean
+  };
+
+  void worker_main(Shard& shard);
+  void process_event(Shard& shard,
+                     std::unordered_map<std::int64_t, RoundMachine>& machines,
+                     const ServeEvent& event);
+
+  ServeConfig config_;
+  obs::MetricsRegistry* parent_registry_;  ///< merge target; may be null
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<bool> stopping_{false};
+  bool drained_{false};
+  ServeStats totals_;
+};
+
+}  // namespace mcs::serve

@@ -1,0 +1,110 @@
+// The serving engine's event vocabulary and JSONL wire format
+// (schema "mcs.serve.v1").
+//
+// The online mechanism is inherently event-driven: tasks are announced as
+// sensing queries arrive, phones bid when they join, the slot clock ticks,
+// and payments are settled at reported departure. The batch harnesses
+// collapse all of that into one Scenario; a serving path cannot. ServeEvent
+// is the unit of traffic the streaming engine consumes -- either
+// synthesized live by the load generator or decoded from a recorded JSONL
+// stream.
+//
+// Wire format: one JSON object per line. The first line of a stream is the
+// header {"schema":"mcs.serve.v1"}; every following line carries an "ev"
+// discriminator plus the round it belongs to:
+//
+//   {"ev":"round_open","round":0,"slots":12,"value":"30"}
+//   {"ev":"task_arrived","round":0,"slot":1,"task":0}            (+"value")
+//   {"ev":"bid_submitted","round":0,"agent":3,"from":1,"to":4,"cost":"7.5"}
+//   {"ev":"slot_tick","round":0,"slot":1}
+//   {"ev":"round_close","round":0}
+//
+// Money fields travel as Money::to_string decimal strings (exact; doubles
+// never touch mechanism arithmetic). Encoding and decoding round-trip
+// byte-identically, which the replay determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/interval.hpp"
+#include "common/money.hpp"
+#include "common/types.hpp"
+#include "io/json_parse.hpp"
+#include "model/bid.hpp"
+
+namespace mcs::serve {
+
+inline constexpr std::string_view kServeSchema = "mcs.serve.v1";
+
+enum class ServeEventKind {
+  kRoundOpen,     ///< a new auction round begins (carries horizon + nu)
+  kTaskArrived,   ///< sensing query becomes a task in the current slot
+  kBidSubmitted,  ///< phone joins the market with its bid (its arrival slot)
+  kSlotTick,      ///< the virtual clock closes the named slot
+  kRoundClose,    ///< the round is over; settle and emit the outcome
+};
+
+[[nodiscard]] std::string_view to_string(ServeEventKind kind);
+
+/// One event on the wire. Fields that do not apply to a kind stay at their
+/// defaults; the factory functions below build well-formed events.
+struct ServeEvent {
+  ServeEventKind kind{ServeEventKind::kSlotTick};
+  std::int64_t round{0};
+
+  // kRoundOpen
+  Slot::rep_type num_slots{0};  ///< m, the round horizon
+  Money round_value;            ///< default task value nu
+
+  // kTaskArrived / kSlotTick (and implied for kBidSubmitted: window begin)
+  Slot slot{0};
+
+  // kTaskArrived
+  TaskId task{-1};
+  std::optional<Money> task_value;  ///< weighted-query override
+
+  // kBidSubmitted
+  PhoneId agent{-1};
+  SlotInterval window{SlotInterval::of(1, 1)};  ///< reported [a~, d~]
+  Money claimed_cost;
+
+  friend bool operator==(const ServeEvent&, const ServeEvent&) = default;
+};
+
+/// Factories (the only supported way to build events in code).
+[[nodiscard]] ServeEvent round_open(std::int64_t round,
+                                    Slot::rep_type num_slots, Money value);
+[[nodiscard]] ServeEvent task_arrived(std::int64_t round, Slot slot,
+                                      TaskId task,
+                                      std::optional<Money> value = {});
+[[nodiscard]] ServeEvent bid_submitted(std::int64_t round, PhoneId agent,
+                                       const model::Bid& bid);
+[[nodiscard]] ServeEvent slot_tick(std::int64_t round, Slot slot);
+[[nodiscard]] ServeEvent round_close(std::int64_t round);
+
+/// The bid carried by a kBidSubmitted event.
+[[nodiscard]] model::Bid bid_of(const ServeEvent& event);
+
+/// Writes the stream header line ({"schema":"mcs.serve.v1"}\n).
+void write_stream_header(std::ostream& os);
+
+/// Writes one event as a single JSONL line (terminated by '\n').
+void write_serve_event(std::ostream& os, const ServeEvent& event);
+
+/// Renders one event as its JSONL line, without the trailing newline.
+[[nodiscard]] std::string encode_serve_event(const ServeEvent& event);
+
+/// Decodes one parsed line. Throws InvalidArgumentError on an unknown
+/// discriminator, missing/mistyped fields, or out-of-domain values.
+[[nodiscard]] ServeEvent decode_serve_event(const io::JsonValue& line);
+
+/// Decodes one raw line: the header line yields nullopt, anything else is
+/// parsed and decoded (errors as above, including malformed JSON).
+[[nodiscard]] std::optional<ServeEvent> decode_serve_line(
+    std::string_view line);
+
+}  // namespace mcs::serve

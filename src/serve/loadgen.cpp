@@ -1,0 +1,69 @@
+#include "serve/loadgen.hpp"
+
+#include <ostream>
+
+#include "common/rng.hpp"
+
+namespace mcs::serve {
+
+model::Scenario loadgen_scenario(const LoadGenConfig& config,
+                                 std::int64_t round) {
+  // fork() makes (seed, round) an independent deterministic stream, so
+  // round k's scenario is reproducible without replaying rounds 0..k-1.
+  Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(round));
+  return model::generate_scenario(config.workload, rng);
+}
+
+std::vector<ServeEvent> round_events(std::int64_t round,
+                                     const model::Scenario& scenario,
+                                     const model::BidProfile& bids) {
+  std::vector<ServeEvent> events;
+  // round_open + close + one tick per slot + one event per task and bid.
+  events.reserve(2 + static_cast<std::size_t>(scenario.num_slots) +
+                 scenario.tasks.size() + bids.size());
+  events.push_back(round_open(round, scenario.num_slots, scenario.task_value));
+
+  std::size_t task_cursor = 0;
+  for (Slot::rep_type t = 1; t <= scenario.num_slots; ++t) {
+    while (task_cursor < scenario.tasks.size() &&
+           scenario.tasks[task_cursor].slot.value() == t) {
+      const model::Task& task = scenario.tasks[task_cursor];
+      events.push_back(task_arrived(round, Slot{t}, task.id, task.value));
+      ++task_cursor;
+    }
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+      if (bids[i].window.begin().value() != t) continue;
+      events.push_back(bid_submitted(
+          round, PhoneId{static_cast<PhoneId::rep_type>(i)}, bids[i]));
+    }
+    events.push_back(slot_tick(round, Slot{t}));
+  }
+  events.push_back(round_close(round));
+  return events;
+}
+
+std::int64_t generate_events(
+    const LoadGenConfig& config,
+    const std::function<bool(const ServeEvent&)>& emit) {
+  std::int64_t emitted = 0;
+  for (std::int64_t round = 0; round < config.rounds; ++round) {
+    const model::Scenario scenario = loadgen_scenario(config, round);
+    const model::BidProfile bids = scenario.truthful_bids();
+    for (const ServeEvent& event : round_events(round, scenario, bids)) {
+      if (!emit(event)) return emitted;
+      ++emitted;
+    }
+  }
+  return emitted;
+}
+
+std::int64_t write_event_stream(std::ostream& os,
+                                const LoadGenConfig& config) {
+  write_stream_header(os);
+  return generate_events(config, [&os](const ServeEvent& event) {
+    write_serve_event(os, event);
+    return static_cast<bool>(os);
+  });
+}
+
+}  // namespace mcs::serve

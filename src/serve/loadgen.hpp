@@ -1,0 +1,52 @@
+// Seeded load generator: turns model::workload draws into serve streams.
+//
+// Each round is an independent Table-I-style draw from
+// model::generate_scenario, seeded per round so any round can be
+// regenerated in isolation (the streaming/batch equivalence oracle relies
+// on exactly that: rebuild round k's scenario, run the batch mechanism,
+// and compare against what the engine produced). The round's scenario and
+// truthful bids are then linearized into the canonical event order --
+// round_open, then per slot {task_arrived*, bid_submitted*, slot_tick},
+// then round_close -- which mirrors the protocol order the round driver
+// enforces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "model/scenario.hpp"
+#include "model/workload.hpp"
+#include "serve/event.hpp"
+
+namespace mcs::serve {
+
+struct LoadGenConfig {
+  std::int64_t rounds = 4;
+  std::uint64_t seed = 42;  ///< base seed; round k draws from (seed, k)
+  model::WorkloadConfig workload;
+};
+
+/// Deterministically regenerates the scenario of one round.
+[[nodiscard]] model::Scenario loadgen_scenario(const LoadGenConfig& config,
+                                               std::int64_t round);
+
+/// Linearizes one round (scenario + the bids actually submitted) into the
+/// canonical event order described above.
+[[nodiscard]] std::vector<ServeEvent> round_events(
+    std::int64_t round, const model::Scenario& scenario,
+    const model::BidProfile& bids);
+
+/// Streams every event of every round, in round order, through `emit`.
+/// Returns the number of events generated. `emit` returning false stops
+/// generation early (e.g. a shedding engine that lost interest).
+std::int64_t generate_events(
+    const LoadGenConfig& config,
+    const std::function<bool(const ServeEvent&)>& emit);
+
+/// Writes the whole load as an mcs.serve.v1 JSONL stream (header line
+/// first). Returns the number of events written (header excluded).
+std::int64_t write_event_stream(std::ostream& os, const LoadGenConfig& config);
+
+}  // namespace mcs::serve

@@ -1,0 +1,43 @@
+#include "serve/replay.hpp"
+
+#include <istream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mcs::serve {
+
+ReplayStats replay_event_stream(std::istream& is, ServeEngine& engine) {
+  ReplayStats stats;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ++stats.lines;
+    std::optional<ServeEvent> event;
+    try {
+      event = decode_serve_line(line);
+    } catch (const Error& e) {
+      throw InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                                 e.what());
+    }
+    if (!event) continue;  // header line
+    ++stats.events;
+    switch (engine.submit(*event)) {
+      case SubmitStatus::kAccepted:
+        ++stats.accepted;
+        break;
+      case SubmitStatus::kRejectedQueueFull:
+        ++stats.shed;
+        break;
+      case SubmitStatus::kRejectedStopped:
+        throw InvalidArgumentError(
+            "line " + std::to_string(line_number) +
+            ": engine is shut down; cannot replay into it");
+    }
+  }
+  return stats;
+}
+
+}  // namespace mcs::serve

@@ -1,0 +1,31 @@
+// Replaying a recorded mcs.serve.v1 stream through the engine.
+//
+// The decoder treats the stream as untrusted bytes: every line goes
+// through io::parse_json (hardened against truncation, deep nesting, and
+// invalid escapes) and the strict field checks of decode_serve_event, so a
+// corrupt stream produces a clean InvalidArgumentError naming the line --
+// never UB. Admission rejections (kReject policy under load) are counted,
+// not fatal: shedding is the policy working as configured.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/engine.hpp"
+
+namespace mcs::serve {
+
+struct ReplayStats {
+  std::int64_t lines{0};     ///< non-empty lines consumed (header included)
+  std::int64_t events{0};    ///< events decoded
+  std::int64_t accepted{0};  ///< events the engine admitted
+  std::int64_t shed{0};      ///< events rejected by admission control
+};
+
+/// Feeds every line of `is` into `engine` (the caller drains afterwards).
+/// Throws InvalidArgumentError, with a 1-based line number, on malformed
+/// input; blank lines are skipped, a header line may appear anywhere but
+/// is only expected first.
+ReplayStats replay_event_stream(std::istream& is, ServeEngine& engine);
+
+}  // namespace mcs::serve

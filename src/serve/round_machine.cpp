@@ -1,0 +1,114 @@
+#include "serve/round_machine.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcs::serve {
+
+namespace {
+
+[[noreturn]] void stream_error(std::int64_t round, const std::string& what) {
+  throw InvalidArgumentError("serve stream, round " + std::to_string(round) +
+                             ": " + what);
+}
+
+}  // namespace
+
+RoundMachine::RoundMachine(const ServeEvent& open,
+                           auction::OnlineGreedyConfig config)
+    : round_(open.round),
+      clock_(open.num_slots),
+      platform_(open.num_slots, open.round_value, config) {
+  if (open.kind != ServeEventKind::kRoundOpen) {
+    stream_error(open.round, "round must start with round_open");
+  }
+  outcome_.round = round_;
+  outcome_.events_consumed = 1;  // the round_open itself
+}
+
+bool RoundMachine::apply(const ServeEvent& event) {
+  if (event.round != round_) {
+    stream_error(round_, "event routed to the wrong round");
+  }
+  if (done_) stream_error(round_, "event after round_close");
+  ++outcome_.events_consumed;
+
+  switch (event.kind) {
+    case ServeEventKind::kRoundOpen:
+      stream_error(round_, "duplicate round_open");
+
+    case ServeEventKind::kTaskArrived:
+      clock_.expect_now(event.slot);
+      platform_.announce_task(event.task, event.task_value);
+      ++outcome_.tasks_announced;
+      return false;
+
+    case ServeEventKind::kBidSubmitted: {
+      clock_.expect_now(event.window.begin());
+      if (event.window.end().value() > clock_.horizon()) {
+        stream_error(round_, "bid window extends past the round horizon");
+      }
+      const auto index = static_cast<std::size_t>(event.agent.value());
+      if (index < agent_bid_.size() && agent_bid_[index]) {
+        stream_error(round_, "agent " + std::to_string(event.agent.value()) +
+                                 " bid twice");
+      }
+      if (index >= agent_bid_.size()) agent_bid_.resize(index + 1, false);
+      agent_bid_[index] = true;
+      if (platform_.submit_bid(event.agent, bid_of(event))) {
+        ++outcome_.bids_admitted;
+      } else {
+        ++outcome_.bids_rejected;  // platform reserve said no
+      }
+      return false;
+    }
+
+    case ServeEventKind::kSlotTick: {
+      clock_.tick(event.slot);
+      const platform::SlotReport report = platform_.advance_slot();
+      for (const auto& assignment : report.assignments) {
+        assignments_.push_back(assignment);
+      }
+      for (const auto& payment : report.payments) {
+        payments_.push_back(payment);
+      }
+      return false;
+    }
+
+    case ServeEventKind::kRoundClose: {
+      if (!clock_.finished()) {
+        stream_error(round_, "round_close before the last slot_tick");
+      }
+      // Materialize the batch-comparable outcome. Agent ids are dense per
+      // the scenario convention, so the bid events seen fix the phone
+      // count; task ids were validated dense by the platform.
+      const int phone_count = static_cast<int>(agent_bid_.size());
+      const int task_count = static_cast<int>(outcome_.tasks_announced);
+      outcome_.outcome.allocation = auction::Allocation(task_count, phone_count);
+      for (const auto& [task, agent] : assignments_) {
+        outcome_.outcome.allocation.assign(task, agent);
+      }
+      outcome_.outcome.payments.assign(static_cast<std::size_t>(phone_count),
+                                       Money{});
+      for (const auto& [agent, payment] : payments_) {
+        outcome_.outcome.payments[static_cast<std::size_t>(agent.value())] =
+            payment;
+        outcome_.total_paid += payment;
+      }
+      done_ = true;
+      obs::count("serve.rounds_completed");
+      return true;
+    }
+  }
+  stream_error(round_, "unhandled event kind");
+}
+
+RoundOutcome RoundMachine::take_outcome() {
+  MCS_EXPECTS(done_, "take_outcome requires a closed round");
+  return std::move(outcome_);
+}
+
+}  // namespace mcs::serve

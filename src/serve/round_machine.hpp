@@ -1,0 +1,71 @@
+// Per-round state machine of the streaming engine.
+//
+// A RoundMachine owns one in-flight auction round: it is created by the
+// round_open event and then fed that round's stream in order, translating
+// events into platform::OnlinePlatform calls -- task_arrived becomes
+// announce_task, bid_submitted becomes submit_bid, slot_tick becomes
+// advance_slot. The machine accumulates the assignments and
+// departure-slot payments the platform reports and materializes them as a
+// batch-comparable auction::Outcome at round_close. Because OnlinePlatform
+// is the same state machine the round driver drives, a replayed event
+// stream reproduces the batch OnlineGreedyMechanism outcome byte for byte
+// (the streaming/batch equivalence oracle pins this).
+//
+// The machine is strict about stream well-formedness (untrusted input):
+// events must carry the clock's current slot, every slot must be ticked
+// before round_close, agents may bid once, and ids must be dense.
+// Violations throw InvalidArgumentError / ContractViolation; the engine
+// surfaces them as stream errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/online_greedy.hpp"
+#include "auction/outcome.hpp"
+#include "common/money.hpp"
+#include "platform/platform.hpp"
+#include "serve/clock.hpp"
+#include "serve/event.hpp"
+
+namespace mcs::serve {
+
+/// What one completed round produced.
+struct RoundOutcome {
+  std::int64_t round{0};
+  auction::Outcome outcome;  ///< batch-comparable allocation + payments
+  Money total_paid;
+  std::int64_t tasks_announced{0};
+  std::int64_t bids_admitted{0};
+  std::int64_t bids_rejected{0};  ///< turned away by the platform reserve
+  std::int64_t events_consumed{0};
+};
+
+class RoundMachine {
+ public:
+  /// Boots the round from its round_open event.
+  RoundMachine(const ServeEvent& open, auction::OnlineGreedyConfig config);
+
+  [[nodiscard]] std::int64_t round() const { return round_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Consumes the next event of this round (kinds other than kRoundOpen).
+  /// Returns true when the event was kRoundClose and the round completed.
+  bool apply(const ServeEvent& event);
+
+  /// The finished round's outcome; requires done(). Moves the result out.
+  [[nodiscard]] RoundOutcome take_outcome();
+
+ private:
+  std::int64_t round_;
+  VirtualClock clock_;
+  platform::OnlinePlatform platform_;
+  bool done_{false};
+
+  std::vector<std::pair<TaskId, platform::AgentId>> assignments_;
+  std::vector<std::pair<platform::AgentId, Money>> payments_;
+  std::vector<bool> agent_bid_;  ///< index = agent id; true once it bid
+  RoundOutcome outcome_;
+};
+
+}  // namespace mcs::serve

@@ -1,0 +1,68 @@
+#include "serve/verify.hpp"
+
+#include <sstream>
+
+namespace mcs::serve {
+
+std::string diff_against_batch(const model::Scenario& scenario,
+                               const model::BidProfile& bids,
+                               const RoundOutcome& streamed,
+                               const auction::OnlineGreedyConfig& config) {
+  const auction::Outcome batch =
+      auction::OnlineGreedyMechanism(config).run(scenario, bids);
+
+  std::ostringstream diff;
+  if (streamed.outcome.allocation.task_count() != scenario.task_count() ||
+      streamed.outcome.allocation.phone_count() != scenario.phone_count()) {
+    diff << "round " << streamed.round << ": shape mismatch (streamed "
+         << streamed.outcome.allocation.task_count() << " tasks x "
+         << streamed.outcome.allocation.phone_count() << " phones, batch "
+         << scenario.task_count() << " x " << scenario.phone_count() << ")";
+    return diff.str();
+  }
+  for (int t = 0; t < scenario.task_count(); ++t) {
+    const auto streamed_phone =
+        streamed.outcome.allocation.phone_for(TaskId{t});
+    const auto batch_phone = batch.allocation.phone_for(TaskId{t});
+    if (streamed_phone != batch_phone) {
+      diff << "round " << streamed.round << ", task " << t
+           << ": streamed phone "
+           << (streamed_phone ? std::to_string(streamed_phone->value()) : "-")
+           << " vs batch "
+           << (batch_phone ? std::to_string(batch_phone->value()) : "-");
+      return diff.str();
+    }
+  }
+  if (streamed.outcome.payments != batch.payments) {
+    for (std::size_t i = 0; i < batch.payments.size(); ++i) {
+      if (streamed.outcome.payments[i] != batch.payments[i]) {
+        diff << "round " << streamed.round << ", phone " << i
+             << ": streamed payment " << streamed.outcome.payments[i]
+             << " vs batch " << batch.payments[i];
+        return diff.str();
+      }
+    }
+  }
+  return {};
+}
+
+VerifyReport verify_against_batch(const LoadGenConfig& config,
+                                  const std::vector<RoundOutcome>& outcomes,
+                                  const auction::OnlineGreedyConfig& greedy) {
+  VerifyReport report;
+  for (const RoundOutcome& streamed : outcomes) {
+    const model::Scenario scenario =
+        loadgen_scenario(config, streamed.round);
+    const model::BidProfile bids = scenario.truthful_bids();
+    ++report.rounds_checked;
+    const std::string diff =
+        diff_against_batch(scenario, bids, streamed, greedy);
+    if (!diff.empty()) {
+      ++report.rounds_diverged;
+      if (report.first_diff.empty()) report.first_diff = diff;
+    }
+  }
+  return report;
+}
+
+}  // namespace mcs::serve

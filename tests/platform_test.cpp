@@ -282,5 +282,58 @@ TEST(Platform, EventStreamOrderingWithinSlot) {
   }
 }
 
+// ---------------------------------------------------- events_of view
+
+TEST(RoundEventView, BorrowsTheTranscriptInsteadOfCopying) {
+  const model::Scenario s = model::fig4_scenario();
+  const RoundResult result = run_round(s, s.truthful_bids());
+  // Every element the view yields lives inside result.transcript -- the
+  // view filters in place, it does not materialize a copy.
+  const RoundEvent* const first = result.transcript.data();
+  const RoundEvent* const last = first + result.transcript.size();
+  std::size_t seen = 0;
+  for (const RoundEvent& event : result.events_of(EventKind::kPaymentIssued)) {
+    EXPECT_GE(&event, first);
+    EXPECT_LT(&event, last);
+    ++seen;
+  }
+  EXPECT_EQ(seen, result.events_of(EventKind::kPaymentIssued).size());
+}
+
+TEST(RoundEventView, MatchesAManualFilterInOrder) {
+  const model::Scenario s = model::fig4_scenario();
+  const RoundResult result = run_round(s, s.truthful_bids());
+  for (const EventKind kind :
+       {EventKind::kTaskAnnounced, EventKind::kBidSubmitted,
+        EventKind::kTaskAssigned, EventKind::kTaskUnserved,
+        EventKind::kPaymentIssued, EventKind::kDeparted}) {
+    std::vector<const RoundEvent*> manual;
+    for (const RoundEvent& event : result.transcript) {
+      if (event.kind == kind) manual.push_back(&event);
+    }
+    const RoundEventView view = result.events_of(kind);
+    EXPECT_EQ(view.size(), manual.size());
+    EXPECT_EQ(view.empty(), manual.empty());
+    std::size_t k = 0;
+    for (const RoundEvent& event : view) {
+      ASSERT_LT(k, manual.size());
+      EXPECT_EQ(&event, manual[k]) << "kind mismatch or order broken";
+      ++k;
+    }
+    EXPECT_EQ(k, manual.size());
+    if (!manual.empty()) {
+      EXPECT_EQ(&view.front(), manual.front());
+    }
+  }
+}
+
+TEST(RoundEventView, EmptyViewIteratesZeroTimes) {
+  const RoundResult result;  // empty transcript
+  const RoundEventView view = result.events_of(EventKind::kTaskAssigned);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.begin(), view.end());
+}
+
 }  // namespace
 }  // namespace mcs::platform

@@ -6,6 +6,8 @@
 //   mcs_cli figure   --id fig6 [--reps 50] [--csv fig6.csv]
 //   mcs_cli replay   events.jsonl
 //   mcs_cli explain  events.jsonl --phone 3
+//   mcs_cli serve    --loadgen --rounds 64 --shards 4 [--verify]
+//   mcs_cli serve    --replay stream.jsonl --shards 4
 //
 // generate draws a Table-I-style round and saves it as a plain-text
 // scenario file; run executes a mechanism on a scenario file and prints
@@ -13,6 +15,7 @@
 // truthfulness/IR deviation grids; figure regenerates one of the paper's
 // evaluation figures; replay re-executes a recorded run and verifies the
 // outcome byte-for-byte; explain narrates one phone's round from the log.
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -40,6 +43,10 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/replay.hpp"
+#include "serve/verify.hpp"
 #include "sim/experiments.hpp"
 #include "sim/html_report.hpp"
 
@@ -119,6 +126,8 @@ Subcommands:
   report     all figures as one self-contained HTML file
   replay     re-execute a recorded decision log and verify the outcome
   explain    narrate one phone's round from a recorded decision log
+  serve      streaming auction engine: sharded event-driven rounds fed by
+             the seeded load generator or a recorded mcs.serve.v1 stream
   bench-diff compare two bench telemetry reports: exact on deterministic
              work counters, p50/p95/p99 ratios on duration histograms;
              exit 1 on regression
@@ -467,6 +476,156 @@ int cmd_bench_diff(int argc, const char* const* argv) {
   return report.regression(options) ? 1 : 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Long-running streaming auction engine: shards rounds across worker "
+      "threads fed by bounded queues. Traffic comes from the seeded load "
+      "generator (--loadgen, the default) or a recorded mcs.serve.v1 "
+      "stream (--replay). --verify batch-compares every completed "
+      "loadgen round against the batch online mechanism (the "
+      "streaming/batch equivalence oracle); exit 1 on divergence.");
+  cli.add_string("replay", "", "replay a recorded JSONL event stream");
+  cli.add_switch("loadgen", "synthesize traffic (default when no --replay)");
+  cli.add_int("rounds", 64, "loadgen: rounds to stream");
+  cli.add_int("slots", 50, "loadgen: slots per round (m)");
+  cli.add_double("lambda", 6.0, "loadgen: smartphone arrival rate per slot");
+  cli.add_double("lambda-t", 3.0, "loadgen: task arrival rate per slot");
+  cli.add_int("seed", 42, "loadgen: base RNG seed (round k forks stream k)");
+  cli.add_int("shards", 4, "worker shards (rounds are hashed across them)");
+  cli.add_int("queue-depth", 1024, "bounded per-shard queue capacity");
+  cli.add_string("admission", "block",
+                 "backpressure policy: block | reject (shed when full)");
+  cli.add_double("reserve", 0.0, "platform reserve price (0 = none)");
+  cli.add_switch("profitable-only", "skip bids above the task value");
+  cli.add_string("events-out", "",
+                 "also record the generated stream as mcs.serve.v1 JSONL");
+  cli.add_switch("verify",
+                 "batch-compare every completed round (loadgen only)");
+  cli.add_string("metrics-out", "",
+                 "write a telemetry report (counters, histograms, trace) as JSON");
+  cli.add_switch("trace", "print the nested phase-timing tree");
+  cli.add_string("trace-out", "",
+                 "write the span tree in Chrome Trace Event Format "
+                 "(Perfetto / chrome://tracing)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  serve::ServeConfig config;
+  config.shards = static_cast<int>(cli.get_int("shards"));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-depth"));
+  const std::string admission = cli.get_string("admission");
+  if (admission == "block") {
+    config.admission = serve::ServeConfig::Admission::kBlock;
+  } else if (admission == "reject") {
+    config.admission = serve::ServeConfig::Admission::kReject;
+  } else {
+    throw InvalidArgumentError("unknown admission policy: " + admission);
+  }
+  if (const double reserve = cli.get_double("reserve"); reserve > 0.0) {
+    config.greedy.reserve_price = Money::from_double(reserve);
+  }
+  config.greedy.allocate_only_profitable = cli.get_switch("profitable-only");
+
+  serve::LoadGenConfig load;
+  load.rounds = cli.get_int("rounds");
+  load.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  load.workload.num_slots = static_cast<Slot::rep_type>(cli.get_int("slots"));
+  load.workload.phone_arrival_rate = cli.get_double("lambda");
+  load.workload.task_arrival_rate = cli.get_double("lambda-t");
+
+  const std::string replay_path = cli.get_string("replay");
+  const bool use_loadgen = replay_path.empty();
+  if (!use_loadgen && cli.get_switch("verify")) {
+    throw InvalidArgumentError(
+        "--verify regenerates rounds from loadgen seeds; it cannot be "
+        "combined with --replay");
+  }
+
+  CliTelemetry telemetry(cli.get_string("metrics-out"),
+                         cli.get_switch("trace"),
+                         cli.get_string("trace-out"));
+
+  std::int64_t offered = 0;
+  std::int64_t shed = 0;
+  std::vector<serve::RoundOutcome> outcomes;
+  serve::ServeStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const obs::TraceSpan span("cli.serve");
+    serve::ServeEngine engine(config);
+    if (use_loadgen) {
+      std::ofstream events_file;
+      const std::string events_path = cli.get_string("events-out");
+      if (!events_path.empty()) {
+        events_file.open(events_path);
+        if (!events_file) {
+          throw IoError("cannot open events file: " + events_path);
+        }
+        serve::write_stream_header(events_file);
+      }
+      offered = serve::generate_events(load, [&](const serve::ServeEvent& e) {
+        if (events_file.is_open()) serve::write_serve_event(events_file, e);
+        if (engine.submit(e) != serve::SubmitStatus::kAccepted) ++shed;
+        return true;
+      });
+    } else {
+      std::ifstream stream(replay_path);
+      if (!stream) throw IoError("cannot open event stream: " + replay_path);
+      const serve::ReplayStats replayed =
+          serve::replay_event_stream(stream, engine);
+      offered = replayed.events;
+      shed = replayed.shed;
+    }
+    engine.drain();
+    outcomes = engine.take_outcomes();
+    stats = engine.stats();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  telemetry.finish({{"tool", "mcs_cli serve"},
+                    {"source", use_loadgen ? "loadgen" : replay_path},
+                    {"shards", std::to_string(config.shards)}});
+
+  Money total_paid;
+  for (const serve::RoundOutcome& outcome : outcomes) {
+    total_paid += outcome.total_paid;
+  }
+  std::cout << "served " << stats.processed << "/" << offered
+            << " events across " << config.shards << " shard(s): "
+            << stats.rounds_completed << " rounds completed, "
+            << stats.tasks_announced << " tasks, " << stats.bids_admitted
+            << " bids admitted (" << stats.bids_rejected_reserve
+            << " reserve-rejected), total paid " << total_paid << '\n';
+  if (shed > 0) {
+    std::cout << "admission control shed " << shed
+              << " events (policy: " << admission << "); downstream: "
+              << stats.orphaned_events << " orphaned events dropped, "
+              << stats.rounds_corrupted << " rounds abandoned mid-flight\n";
+  }
+  if (seconds > 0.0) {
+    std::cout << "sustained "
+              << static_cast<std::int64_t>(
+                     static_cast<double>(stats.processed) / seconds)
+              << " events/sec over " << seconds << " s\n";
+  }
+
+  if (cli.get_switch("verify")) {
+    const serve::VerifyReport report =
+        serve::verify_against_batch(load, outcomes, config.greedy);
+    if (!report.clean()) {
+      std::cout << "VERIFY FAILED: " << report.rounds_diverged << "/"
+                << report.rounds_checked << " rounds diverged; first: "
+                << report.first_diff << '\n';
+      return 1;
+    }
+    std::cout << "verify: all " << report.rounds_checked
+              << " rounds byte-identical to the batch mechanism\n";
+  }
+  return 0;
+}
+
 int cmd_explain(int argc, const char* const* argv) {
   std::vector<const char*> rest;
   const std::string positional = take_leading_positional(argc, argv, rest);
@@ -506,6 +665,7 @@ int main(int argc, char** argv) {
     if (subcommand == "report") return cmd_report(argc - 1, argv + 1);
     if (subcommand == "replay") return cmd_replay(argc - 1, argv + 1);
     if (subcommand == "explain") return cmd_explain(argc - 1, argv + 1);
+    if (subcommand == "serve") return cmd_serve(argc - 1, argv + 1);
     if (subcommand == "bench-diff") return cmd_bench_diff(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
       print_usage();
