@@ -6,9 +6,10 @@
 #
 # Bench discovery: every google-benchmark binary matching
 # $BUILD_DIR/bench/perf_* by glob (currently perf_matching,
-# perf_mechanisms, and perf_serve -- the streaming engine's hot path),
-# plus the opted-in plain benches listed in OPT_IN_BENCHES (binaries that
-# wire bench/telemetry_scope.hpp).
+# perf_mechanisms, perf_payments -- the shared-prefix vs full-replay
+# Algorithm-2 ablation -- and perf_serve, the streaming engine's hot
+# path), plus the opted-in plain benches listed in OPT_IN_BENCHES
+# (binaries that wire bench/telemetry_scope.hpp).
 #
 # The google-benchmark binaries run two passes (bench/telemetry_main.hpp):
 # an adaptive timing pass honouring the extra benchmark args, whose own

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "auction/batched_matching.hpp"
+#include "auction/counterfactual.hpp"
 #include "auction/critical_value.hpp"
 #include "auction/offline_vcg.hpp"
 #include "auction/online_greedy.hpp"
@@ -132,10 +133,13 @@ auction::Outcome record_run(obs::EventLog& log, const RunSpec& spec,
   if (probe_critical_values && spec.mechanism == "online") {
     // Winner probe trails: the bisection records every probe into the
     // installed log (its inner allocation re-runs stay suppressed), so
-    // explain_phone can trace the payment back to the critical bid.
+    // explain_phone can trace the payment back to the critical bid. One
+    // shared-prefix engine serves every winner's probes -- a single
+    // factual pass, then per-probe forks at each winner's arrival.
     const auction::OnlineGreedyConfig config = online_config(spec);
+    const auction::CounterfactualEngine engine(scenario, bids, config);
     for (const PhoneId winner : outcome.allocation.winners()) {
-      (void)auction::greedy_critical_value(scenario, bids, winner, config);
+      (void)auction::greedy_critical_value(engine, winner);
     }
   }
 

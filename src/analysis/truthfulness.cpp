@@ -73,6 +73,10 @@ TruthfulnessReport audit_truthfulness(const auction::Mechanism& mechanism,
                                       const model::BidProfile& base_bids,
                                       const DeviationOptions& options) {
   TruthfulnessReport report;
+  // In the common all-truthful audit (base_bids == truthful_bids()) every
+  // phone's reference profile is the same bid vector: run it once lazily
+  // and reuse the outcome instead of re-running the mechanism n times.
+  std::optional<auction::Outcome> base_outcome;
   for (int i = 0; i < scenario.phone_count(); ++i) {
     const PhoneId phone{i};
     const model::TrueProfile& profile = scenario.phone(phone);
@@ -80,8 +84,14 @@ TruthfulnessReport audit_truthfulness(const auction::Mechanism& mechanism,
     // Reference: this phone truthful, others as in base_bids.
     const model::BidProfile truthful_profile =
         model::with_bid(base_bids, phone, model::truthful_bid(profile));
-    const Money truthful_utility =
-        mechanism.run(scenario, truthful_profile).utility(scenario, phone);
+    Money truthful_utility;
+    if (truthful_profile == base_bids) {
+      if (!base_outcome) base_outcome = mechanism.run(scenario, base_bids);
+      truthful_utility = base_outcome->utility(scenario, phone);
+    } else {
+      truthful_utility =
+          mechanism.run(scenario, truthful_profile).utility(scenario, phone);
+    }
 
     ++report.phones_audited;
     for (const model::Bid& deviation :

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "auction/counterfactual.hpp"
 #include "common/assert.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -73,10 +74,13 @@ std::optional<Money> bisect_critical_value(const WinsWithCost& wins,
   // `lo` is the largest probed winning cost; with tolerance 1 micro the
   // true threshold lies in (lo, lo + 1 micro], and for mechanisms whose
   // thresholds are exact bid values (the greedy rule) `hi` equals it.
+  // `critical_bid` reports `hi` -- the value this function returns and the
+  // payment path charges -- so explains never drift from the money moved;
+  // the [lo, hi] bracket fields keep the search window inspectable.
   obs::log_event([&] {
     obs::Event event("critical_found");
     event.phone = log_phone;
-    event.with("critical_bid", Money::from_micros(lo))
+    event.with("critical_bid", Money::from_micros(hi))
         .with("lo", Money::from_micros(lo))
         .with("hi", Money::from_micros(hi))
         .with("probes", probes);
@@ -85,10 +89,16 @@ std::optional<Money> bisect_critical_value(const WinsWithCost& wins,
   return Money::from_micros(hi);
 }
 
-std::optional<Money> greedy_critical_value(const model::Scenario& scenario,
-                                           const model::BidProfile& bids,
-                                           PhoneId phone,
-                                           const OnlineGreedyConfig& config) {
+namespace {
+
+/// Probe range: the highest task value plus the highest claimed cost
+/// exceeds any bounded critical value of the greedy rule. Saturating:
+/// scenario files loaded through scenario_io may carry a task value near
+/// the int64 micro limit, where the naive sum is signed-overflow UB; the
+/// clamped Money::max() still dominates every bounded threshold (rival
+/// bids are validated strictly below it).
+Money probe_upper_bound(const model::Scenario& scenario,
+                        const model::BidProfile& bids) {
   Money max_cost;
   for (const model::Bid& bid : bids) {
     max_cost = std::max(max_cost, bid.claimed_cost);
@@ -97,17 +107,29 @@ std::optional<Money> greedy_critical_value(const model::Scenario& scenario,
   for (const model::Task& task : scenario.tasks) {
     max_value = std::max(max_value, scenario.value_of(task.id));
   }
-  const Money upper_bound = max_value + max_cost + Money::from_units(1);
+  return Money::saturating_add(Money::saturating_add(max_value, max_cost),
+                               Money::from_units(1));
+}
 
-  const model::Bid& own = bids[static_cast<std::size_t>(phone.value())];
+}  // namespace
+
+std::optional<Money> greedy_critical_value(const model::Scenario& scenario,
+                                           const model::BidProfile& bids,
+                                           PhoneId phone,
+                                           const OnlineGreedyConfig& config) {
+  const CounterfactualEngine engine(scenario, bids, config);
+  return greedy_critical_value(engine, phone);
+}
+
+std::optional<Money> greedy_critical_value(const CounterfactualEngine& engine,
+                                           PhoneId phone) {
+  const Money upper_bound = probe_upper_bound(engine.scenario(), engine.bids());
   const WinsWithCost wins = [&](Money cost) {
     // The probe allocation is bookkeeping of the search, not a decision of
-    // the recorded run: keep its events out of the primary trail.
+    // the recorded run: keep its events out of the primary trail. (The
+    // engine emits none itself; the suppression guards future additions.)
     const obs::ScopedEventLog suppress_inner(nullptr);
-    const model::BidProfile probe = model::with_bid(
-        bids, phone, model::Bid{own.window, cost});
-    const GreedyRun run = run_greedy_allocation(scenario, probe, config);
-    return run.allocation.is_winner(phone);
+    return engine.wins_with_cost(phone, cost);
   };
   return bisect_critical_value(wins, upper_bound, 1, phone.value());
 }

@@ -42,14 +42,26 @@ using WinsWithCost = std::function<bool(Money cost)>;
     const WinsWithCost& wins, Money upper_bound,
     std::int64_t tolerance_micros = 1, std::int32_t log_phone = -1);
 
+class CounterfactualEngine;  // auction/counterfactual.hpp
+
 /// Critical claimed cost of `phone` under the greedy online allocation
 /// (Algorithm 1) with everyone else's bids fixed. Requires that `phone`
 /// wins when claiming 0. Returns nullopt when the phone wins at any probed
 /// cost (supply scarcity). The probe range is the task value plus the
-/// maximum claimed cost in `bids`, which exceeds any bounded critical value
-/// of the greedy rule.
+/// maximum claimed cost in `bids` (saturating at Money::max() on
+/// adversarial inputs), which exceeds any bounded critical value of the
+/// greedy rule. Probes evaluate on a shared-prefix CounterfactualEngine
+/// built on the spot; the bisection *algorithm* stays independent of
+/// Algorithm 2's max-over-winners derivation, preserving the
+/// payment-equals-critical-value cross-check.
 [[nodiscard]] std::optional<Money> greedy_critical_value(
     const model::Scenario& scenario, const model::BidProfile& bids,
     PhoneId phone, const OnlineGreedyConfig& config = {});
+
+/// Same search on a caller-provided engine: amortizes the factual pass
+/// when probing many phones of one (scenario, bids, config) triple, as
+/// the flight recorder's record_run does.
+[[nodiscard]] std::optional<Money> greedy_critical_value(
+    const CounterfactualEngine& engine, PhoneId phone);
 
 }  // namespace mcs::auction

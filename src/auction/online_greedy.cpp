@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <thread>
 
+#include "auction/counterfactual.hpp"
 #include "common/assert.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -11,29 +13,16 @@
 
 namespace mcs::auction {
 
-namespace {
-
-/// Pool ordering: by (claimed cost, phone id) ascending. A total,
-/// deterministic order is what makes the allocation rule monotone
-/// (Definition 10) and the audits exact.
-struct PoolEntry {
-  std::int64_t cost_micros;
-  int phone;
-
-  friend bool operator<(const PoolEntry& a, const PoolEntry& b) {
-    if (a.cost_micros != b.cost_micros) return a.cost_micros < b.cost_micros;
-    return a.phone < b.phone;
-  }
-};
-
-}  // namespace
-
 GreedyRun run_greedy_allocation(const model::Scenario& scenario,
                                 const model::BidProfile& bids,
                                 const OnlineGreedyConfig& config,
                                 std::optional<PhoneId> exclude,
-                                Slot::rep_type last_slot) {
+                                Slot::rep_type last_slot,
+                                GreedyCheckpoints* capture) {
   model::validate_bids(scenario, bids);
+  MCS_EXPECTS(capture == nullptr || !exclude,
+              "checkpoints describe the factual run: capturing a "
+              "counterfactual (excluded) pass would poison every fork");
   const Slot::rep_type horizon =
       last_slot == 0 ? scenario.num_slots
                      : std::min(last_slot, scenario.num_slots);
@@ -83,6 +72,23 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
     });
     arrivals[static_cast<std::size_t>(bid.window.begin().value())].push_back(i);
   }
+  // Departure index, mirroring the arrivals one: a bid with reported
+  // window [a~, d~] leaves the pool at the start of slot d~ + 1. Erasing
+  // only actual departures keeps the per-slot sweep O(departures) instead
+  // of O(pool).
+  std::vector<std::vector<int>> departures(
+      static_cast<std::size_t>(scenario.num_slots) + 2);
+  for (const std::vector<int>& slot_arrivals : arrivals) {
+    for (const int phone : slot_arrivals) {
+      const Slot::rep_type departs_after =
+          bids[static_cast<std::size_t>(phone)].window.end().value() + 1;
+      departures[static_cast<std::size_t>(departs_after)].push_back(phone);
+    }
+  }
+  if (capture != nullptr) {
+    capture->arrivals = arrivals;
+    capture->slots.assign(static_cast<std::size_t>(horizon) + 1, {});
+  }
 
   const std::vector<int> tasks_per_slot = scenario.tasks_per_slot();
   // Tasks of each slot in id order (dense ids sorted by slot make this a
@@ -93,32 +99,36 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
   run.allocation = Allocation(scenario.task_count(), scenario.phone_count());
   run.slots.reserve(static_cast<std::size_t>(horizon));
 
-  std::set<PoolEntry> pool;  // active unallocated bids
-  const auto window_of = [&](int phone) -> const SlotInterval& {
-    return bids[static_cast<std::size_t>(phone)].window;
-  };
+  std::set<PoolBid> pool;  // active unallocated bids
 
   for (Slot::rep_type t = 1; t <= horizon; ++t) {
+    if (capture != nullptr) {
+      // Snapshot the slot-start state (before this slot's arrivals and
+      // departures): the fork point for counterfactuals of phones whose
+      // reported arrival is t.
+      GreedyCheckpoints::SlotStart& checkpoint =
+          capture->slots[static_cast<std::size_t>(t)];
+      checkpoint.pool.assign(pool.begin(), pool.end());
+      checkpoint.next_task = next_task;
+    }
     // Add newly arriving bids (Algorithm 1 line 3, first half).
     for (const int phone : arrivals[static_cast<std::size_t>(t)]) {
-      pool.insert(PoolEntry{
+      pool.insert(PoolBid{
           bids[static_cast<std::size_t>(phone)].claimed_cost.micros(), phone});
       ++pool_insertions;
     }
     // Drop departed bids (line 3, second half). Lazy would suffice for
     // allocation, but the recorded pool must match Fig. 4's "dynamic pool".
-    for (auto it = pool.begin(); it != pool.end();) {
-      if (window_of(it->phone).end().value() < t) {
-        it = pool.erase(it);
-      } else {
-        ++it;
-      }
+    // A departed bid may already be allocated (absent): erase is a no-op.
+    for (const int phone : departures[static_cast<std::size_t>(t)]) {
+      pool.erase(PoolBid{
+          bids[static_cast<std::size_t>(phone)].claimed_cost.micros(), phone});
     }
 
     GreedySlotRecord record;
     record.slot = Slot{t};
     record.pool.reserve(pool.size());
-    for (const PoolEntry& entry : pool) {
+    for (const PoolBid& entry : pool) {
       record.pool.push_back(PhoneId{entry.phone});
     }
     // The candidate pool at the start of the slot, cheapest first --
@@ -130,7 +140,7 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
       std::vector<std::int64_t> costs_micros;
       ids.reserve(pool.size());
       costs_micros.reserve(pool.size());
-      for (const PoolEntry& entry : pool) {
+      for (const PoolBid& entry : pool) {
         ids.push_back(entry.phone);
         costs_micros.push_back(entry.cost_micros);
       }
@@ -171,7 +181,7 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
         record.unserved.push_back(task);
         continue;
       }
-      const PoolEntry chosen = *pool.begin();
+      const PoolBid chosen = *pool.begin();
       if (config.allocate_only_profitable &&
           Money::from_micros(chosen.cost_micros) > scenario.value_of(task)) {
         // The cheapest remaining bid already exceeds this task's value, so
@@ -232,15 +242,45 @@ GreedyRun run_greedy_allocation(const model::Scenario& scenario,
   return run;
 }
 
-Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
-                                             const model::BidProfile& bids,
-                                             PhoneId winner,
-                                             Slot win_slot) const {
+namespace {
+
+/// Everything the payment_derivation event needs, computed without
+/// touching the event log -- so derivations can run on worker threads
+/// while the events still come out on the caller's thread in winner
+/// order, making the trail identical at every thread count.
+struct PaymentBreakdown {
+  Money payment;
+  bool scarce{false};
+  Money scarce_cap;
+  bool scarce_applied{false};
+  /// Which counterfactual slot winner set the final payment (the argmax
+  /// of Algorithm 2 line 6) -- the derivation reference of the record.
+  std::optional<PhoneId> setter_phone;
+  Slot setter_slot{0};
+};
+
+void apply_scarcity_policy(PaymentBreakdown& breakdown,
+                           const OnlineGreedyConfig& config) {
+  breakdown.scarce_applied =
+      breakdown.scarce &&
+      config.scarce_payment == OnlineGreedyConfig::ScarcePayment::kCapAtValue &&
+      breakdown.scarce_cap > breakdown.payment;
+  if (breakdown.scarce_applied) {
+    breakdown.payment = breakdown.scarce_cap;
+  }
+}
+
+/// Algorithm 2 by full re-run: the counterfactual without B_i replays
+/// from slot 1 up to the winner's reported departure. The straightforward
+/// reading of the paper, kept as the shared-prefix engine's equivalence
+/// oracle (OnlineGreedyConfig::PaymentEngine::kFullReplay).
+PaymentBreakdown derive_payment_full_replay(const model::Scenario& scenario,
+                                            const model::BidProfile& bids,
+                                            const OnlineGreedyConfig& config,
+                                            PhoneId winner, Slot win_slot) {
   const model::Bid& own_bid = bids[static_cast<std::size_t>(winner.value())];
   const Slot::rep_type depart = own_bid.window.end().value();
 
-  // Counterfactual run without B_i up to the winner's reported departure
-  // (Algorithm 2 re-allocates from slot 1: removing i can change history).
   // Each counterfactual evaluation is one probe of i's critical value --
   // the over-time analogue of a bisection probe (docs/observability.md).
   // Its inner allocation decisions are search bookkeeping, not decisions
@@ -249,16 +289,11 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
   GreedyRun without;
   {
     const obs::ScopedEventLog suppress_counterfactual(nullptr);
-    without = run_greedy_allocation(scenario, bids, config_, winner, depart);
+    without = run_greedy_allocation(scenario, bids, config, winner, depart);
   }
 
-  Money payment = own_bid.claimed_cost;  // Algorithm 2 line 1: p_i <- b_i
-  bool scarce = false;
-  Money scarce_cap;
-  // Which counterfactual slot winner set the final payment (the argmax of
-  // line 6) -- the derivation reference of the payment record.
-  std::optional<PhoneId> setter_phone;
-  Slot setter_slot{0};
+  PaymentBreakdown breakdown;
+  breakdown.payment = own_bid.claimed_cost;  // Algorithm 2 line 1: p_i <- b_i
   for (const GreedySlotRecord& record : without.slots) {
     if (record.slot < win_slot) continue;  // only slots in [t'_i, d~_i]
     for (const TaskId task : record.unserved) {
@@ -266,77 +301,200 @@ Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
       // the reserve price (if set: bids above it never enter), else the
       // task's value under profitable-only, else unbounded -- in which
       // case the task's value serves as the documented cap.
-      scarce = true;
+      breakdown.scarce = true;
       Money cap = scenario.value_of(task);
-      if (config_.reserve_price) {
-        cap = config_.allocate_only_profitable
-                  ? std::min(*config_.reserve_price, cap)
-                  : *config_.reserve_price;
+      if (config.reserve_price) {
+        cap = config.allocate_only_profitable
+                  ? std::min(*config.reserve_price, cap)
+                  : *config.reserve_price;
       }
-      scarce_cap = std::max(scarce_cap, cap);
+      breakdown.scarce_cap = std::max(breakdown.scarce_cap, cap);
     }
     if (!record.winners.empty()) {
       // Line 6: the r_t-th (highest-cost) winner of the slot.
       const PhoneId last = record.winners.back();
       const Money rival =
           bids[static_cast<std::size_t>(last.value())].claimed_cost;
-      if (rival > payment) {
-        payment = rival;
-        setter_phone = last;
-        setter_slot = record.slot;
+      if (rival > breakdown.payment) {
+        breakdown.payment = rival;
+        breakdown.setter_phone = last;
+        breakdown.setter_slot = record.slot;
       }
     }
   }
-  const bool scarce_applied =
-      scarce &&
-      config_.scarce_payment == OnlineGreedyConfig::ScarcePayment::kCapAtValue &&
-      scarce_cap > payment;
-  if (scarce_applied) {
-    payment = scarce_cap;
+  apply_scarcity_policy(breakdown, config);
+  return breakdown;
+}
+
+/// Algorithm 2 on the shared-prefix engine: the counterfactual forks from
+/// the factual checkpoint at the winner's reported arrival, replaying only
+/// [t'_i, d~_i]. Money-equal to derive_payment_full_replay by the prefix
+/// invariant (proved across engines by the payment equivalence suite).
+PaymentBreakdown derive_payment_shared_prefix(const CounterfactualEngine& engine,
+                                              PhoneId winner, Slot win_slot) {
+  const model::Bid& own_bid =
+      engine.bids()[static_cast<std::size_t>(winner.value())];
+  const Slot::rep_type depart = own_bid.window.end().value();
+  obs::count("auction.critical_value.probes");
+
+  PaymentBreakdown breakdown;
+  breakdown.payment = own_bid.claimed_cost;  // Algorithm 2 line 1: p_i <- b_i
+  for (const CounterfactualEngine::ReplaySlot& slot :
+       engine.replay_without(winner, win_slot.value(), depart)) {
+    if (slot.scarce_cap) {
+      breakdown.scarce = true;
+      breakdown.scarce_cap = std::max(breakdown.scarce_cap, *slot.scarce_cap);
+    }
+    if (slot.dearest_cost && *slot.dearest_cost > breakdown.payment) {
+      breakdown.payment = *slot.dearest_cost;
+      breakdown.setter_phone = slot.dearest_phone;
+      breakdown.setter_slot = slot.slot;
+    }
   }
+  apply_scarcity_policy(breakdown, engine.config());
+  return breakdown;
+}
+
+void log_payment_derivation(const PaymentBreakdown& breakdown,
+                            const model::Bid& own_bid, PhoneId winner,
+                            Slot win_slot) {
   obs::log_event([&] {
     obs::Event event("payment_derivation");
     event.phone = winner.value();
     event.slot = static_cast<std::int32_t>(win_slot.value());
     event.with("rule", std::string("algorithm2.counterfactual_max"))
-        .with("payment", payment)
+        .with("payment", breakdown.payment)
         .with("own_bid", own_bid.claimed_cost)
-        .with("window_end", static_cast<std::int64_t>(depart));
-    if (setter_phone) {
+        .with("window_end",
+              static_cast<std::int64_t>(own_bid.window.end().value()));
+    if (breakdown.setter_phone) {
       event.with("set_by_phone",
-                 static_cast<std::int64_t>(setter_phone->value()))
+                 static_cast<std::int64_t>(breakdown.setter_phone->value()))
           .with("set_in_slot",
-                static_cast<std::int64_t>(setter_slot.value()));
+                static_cast<std::int64_t>(breakdown.setter_slot.value()));
     }
-    event.with("scarce", scarce);
-    if (scarce) event.with("scarce_cap", scarce_cap);
-    event.with("scarce_applied", scarce_applied);
+    event.with("scarce", breakdown.scarce);
+    if (breakdown.scarce) event.with("scarce_cap", breakdown.scarce_cap);
+    event.with("scarce_applied", breakdown.scarce_applied);
     return event;
   });
-  return payment;
+}
+
+}  // namespace
+
+Money OnlineGreedyMechanism::compute_payment(const model::Scenario& scenario,
+                                             const model::BidProfile& bids,
+                                             PhoneId winner,
+                                             Slot win_slot) const {
+  PaymentBreakdown breakdown;
+  if (config_.payment_engine ==
+      OnlineGreedyConfig::PaymentEngine::kSharedPrefix) {
+    // A single-winner query amortizes nothing, but still pays for at most
+    // one factual pass plus one suffix replay; run() shares one engine
+    // across all winners.
+    const CounterfactualEngine engine(scenario, bids, config_);
+    breakdown = derive_payment_shared_prefix(engine, winner, win_slot);
+  } else {
+    breakdown =
+        derive_payment_full_replay(scenario, bids, config_, winner, win_slot);
+  }
+  log_payment_derivation(
+      breakdown, bids[static_cast<std::size_t>(winner.value())], winner,
+      win_slot);
+  return breakdown.payment;
 }
 
 Outcome OnlineGreedyMechanism::run(const model::Scenario& scenario,
                                    const model::BidProfile& bids) const {
   const obs::TraceSpan span("online_greedy.run");
   scenario.validate();
+  const bool shared_prefix =
+      config_.payment_engine == OnlineGreedyConfig::PaymentEngine::kSharedPrefix;
 
   Outcome outcome;
   GreedyRun greedy;
+  GreedyCheckpoints checkpoints;
   {
     const obs::TraceSpan allocation_span("online_greedy.allocation");
-    greedy = run_greedy_allocation(scenario, bids, config_);
+    greedy = run_greedy_allocation(scenario, bids, config_, std::nullopt, 0,
+                                   shared_prefix ? &checkpoints : nullptr);
   }
   outcome.allocation = std::move(greedy.allocation);
   outcome.payments.assign(scenario.phones.size(), Money{});
 
   {
     const obs::TraceSpan payment_span("online_greedy.payments");
+    struct WinRecord {
+      PhoneId phone{-1};
+      Slot slot{0};
+    };
+    std::vector<WinRecord> winners;
     for (const GreedySlotRecord& record : greedy.slots) {
       for (const PhoneId winner : record.winners) {
-        outcome.payments[static_cast<std::size_t>(winner.value())] =
-            compute_payment(scenario, bids, winner, record.slot);
+        winners.push_back(WinRecord{winner, record.slot});
       }
+    }
+
+    std::optional<CounterfactualEngine> engine;
+    if (shared_prefix) {
+      engine.emplace(scenario, bids, config_, std::move(checkpoints));
+    }
+    const auto derive = [&](const WinRecord& win) {
+      return shared_prefix
+                 ? derive_payment_shared_prefix(*engine, win.phone, win.slot)
+                 : derive_payment_full_replay(scenario, bids, config_,
+                                              win.phone, win.slot);
+    };
+
+    // Per-winner derivations are independent and read-only: fan them out
+    // over payment_threads workers, strided like sim::simulate_parallel.
+    // Each worker records into its own registry (new threads inherit no
+    // thread-local state, so worker event logs are off by construction);
+    // the partials merge in worker order after the join, and counter
+    // merges are sums, so the totals equal a serial run exactly.
+    std::vector<PaymentBreakdown> breakdowns(winners.size());
+    std::size_t threads = config_.payment_threads > 0
+                              ? static_cast<std::size_t>(config_.payment_threads)
+                              : std::max<std::size_t>(
+                                    std::thread::hardware_concurrency(), 1);
+    threads = std::min(threads, winners.size());
+    if (threads <= 1) {
+      for (std::size_t k = 0; k < winners.size(); ++k) {
+        breakdowns[k] = derive(winners[k]);
+      }
+    } else {
+      obs::MetricsRegistry* const parent_registry = obs::current_registry();
+      std::vector<obs::MetricsRegistry> worker_metrics(threads);
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (std::size_t w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+          std::optional<obs::ScopedRegistry> telemetry;
+          if (parent_registry != nullptr) {
+            telemetry.emplace(&worker_metrics[w]);
+          }
+          for (std::size_t k = w; k < winners.size(); k += threads) {
+            breakdowns[k] = derive(winners[k]);
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      if (parent_registry != nullptr) {
+        for (const obs::MetricsRegistry& partial : worker_metrics) {
+          parent_registry->merge(partial);
+        }
+      }
+    }
+
+    // Events and payments written back on this thread in winner order:
+    // the recorded trail is identical at every thread count.
+    for (std::size_t k = 0; k < winners.size(); ++k) {
+      const WinRecord& win = winners[k];
+      log_payment_derivation(
+          breakdowns[k], bids[static_cast<std::size_t>(win.phone.value())],
+          win.phone, win.slot);
+      outcome.payments[static_cast<std::size_t>(win.phone.value())] =
+          breakdowns[k].payment;
     }
   }
 

@@ -34,6 +34,26 @@ struct OnlineGreedyConfig {
   /// the paper's Algorithm 1, which allocates unconditionally).
   bool allocate_only_profitable = false;
 
+  /// How Algorithm 2 evaluates its counterfactual runs.
+  enum class PaymentEngine {
+    /// Fork each counterfactual from the factual run's per-slot
+    /// checkpoints at the winner's reported arrival (the runs are
+    /// byte-identical before it). Same payments, far less work.
+    kSharedPrefix,
+    /// Re-run Algorithm 1 from slot 1 for every counterfactual -- the
+    /// straightforward reading of the paper, kept as the equivalence
+    /// oracle for the shared-prefix engine.
+    kFullReplay,
+  };
+  PaymentEngine payment_engine = PaymentEngine::kSharedPrefix;
+
+  /// Worker threads for the per-winner payment fan-out in run(). The
+  /// derivations are independent and read-only; results are written back
+  /// in winner order and per-worker metrics merge deterministically, so
+  /// any value yields identical payments, events, and counters.
+  /// 1 = serial (default), 0 = hardware concurrency.
+  int payment_threads = 1;
+
   /// Platform reserve price: bids claiming more than this can never win.
   /// A set reserve bounds every critical value by the reserve, so the
   /// mechanism stays *exactly* truthful even under supply scarcity (a
@@ -75,15 +95,22 @@ struct GreedyRun {
   std::vector<GreedySlotRecord> slots;  ///< index t-1 describes slot t
 };
 
+struct GreedyCheckpoints;  // auction/counterfactual.hpp
+
 /// Runs Algorithm 1 on `bids`, optionally pretending phone `exclude` never
 /// bid (the counterfactual run of Algorithm 2), stopping after `last_slot`
 /// (0 = the full round). Exposed publicly because the payment scheme, the
 /// second-price baseline, and several tests all build on it.
+///
+/// When `capture` is non-null the pass additionally snapshots its
+/// per-slot-start state (pool + task cursor) into it, for a
+/// CounterfactualEngine to fork from; capturing is only meaningful on
+/// factual runs (no `exclude`).
 [[nodiscard]] GreedyRun run_greedy_allocation(
     const model::Scenario& scenario, const model::BidProfile& bids,
     const OnlineGreedyConfig& config = {},
     std::optional<PhoneId> exclude = std::nullopt,
-    Slot::rep_type last_slot = 0);
+    Slot::rep_type last_slot = 0, GreedyCheckpoints* capture = nullptr);
 
 class OnlineGreedyMechanism final : public Mechanism {
  public:

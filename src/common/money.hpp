@@ -44,6 +44,20 @@ class Money {
     return Money{INT64_MAX / 4};  // headroom so sums of a few maxes cannot overflow
   }
 
+  /// Sum clamped to [-max(), max()]. operator+ on amounts near the int64
+  /// extremes is signed-overflow UB; use this wherever an input-controlled
+  /// sum must stay a valid "+infinity"-style bound (e.g. the bisection
+  /// upper bound over adversarial scenario files).
+  [[nodiscard]] static constexpr Money saturating_add(Money a, Money b) {
+    const std::int64_t cap = max().micros_;
+    if (a.micros_ >= 0 && b.micros_ > cap - a.micros_) return max();
+    if (a.micros_ < 0 && b.micros_ < -cap - a.micros_) return -max();
+    const std::int64_t sum = a.micros_ + b.micros_;
+    if (sum > cap) return max();
+    if (sum < -cap) return -max();
+    return Money{sum};
+  }
+
   [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
   [[nodiscard]] double to_double() const {
     return static_cast<double>(micros_) / static_cast<double>(kScale);

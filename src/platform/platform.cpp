@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcs::platform {
 
@@ -192,12 +193,46 @@ std::vector<OnlinePlatform::ReplaySlot> OnlinePlatform::replay_without(
     AgentId excluded, Slot::rep_type last_slot) const {
   std::vector<ReplaySlot> result(static_cast<std::size_t>(last_slot) + 1);
 
+  // Shared-prefix fork: the excluded agent cannot influence any slot
+  // before its own submission, so the counterfactual history up to that
+  // slot *is* the recorded history. Rebuild the fork state from the
+  // stored win_slot flags (every allocation before `fork` is final by the
+  // time payments are issued) and the task list, and replay only the
+  // suffix. This derivation is deliberately independent of the batch
+  // engine's checkpoint mechanism, so the equivalence tests keep
+  // cross-validating both.
+  Slot::rep_type fork = 1;
+  for (const StoredBid& stored : bids_) {
+    if (stored.agent == excluded) {
+      fork = stored.bid.window.begin().value();
+      break;
+    }
+  }
+
   // Fresh bookkeeping over the stored history (never touches the live
   // allocation flags).
   std::vector<char> taken(bids_.size(), 0);
+  for (std::size_t b = 0; b < bids_.size(); ++b) {
+    if (bids_[b].allocated && bids_[b].win_slot.value() < fork) taken[b] = 1;
+  }
+  // tasks_ is slot-sorted (announced in slot order): skip to the suffix.
   std::size_t task_cursor = 0;
+  while (task_cursor < tasks_.size() &&
+         tasks_[task_cursor].slot.value() < fork) {
+    ++task_cursor;
+  }
+  obs::MetricsRegistry* const registry = obs::current_registry();
+  if (registry != nullptr) {
+    registry->counter("platform.counterfactual.forks").add(1);
+    registry->counter("platform.counterfactual.slots_skipped")
+        .add(static_cast<std::int64_t>(fork) - 1);
+    if (last_slot >= fork) {
+      registry->counter("platform.counterfactual.slots_replayed")
+          .add(static_cast<std::int64_t>(last_slot - fork) + 1);
+    }
+  }
 
-  for (Slot::rep_type t = 1; t <= last_slot; ++t) {
+  for (Slot::rep_type t = fork; t <= last_slot; ++t) {
     std::vector<std::size_t> slot_tasks;
     while (task_cursor < tasks_.size() &&
            tasks_[task_cursor].slot.value() == t) {

@@ -82,7 +82,10 @@ class OnlinePlatform {
   /// Replays the greedy allocation over the stored history up to
   /// `last_slot`, pretending `excluded` never bid. Returns, per slot,
   /// the highest winning claimed cost (or nullopt for no winners) and the
-  /// scarcity cap contribution of unserved tasks.
+  /// scarcity cap contribution of unserved tasks. Shared-prefix: slots
+  /// before the excluded agent's submission are inherited from the
+  /// recorded history (entries stay empty), not replayed -- callers read
+  /// from the winner's win slot, which is never earlier.
   struct ReplaySlot {
     std::optional<Money> dearest_winner;
     std::optional<Money> scarce_cap;

@@ -13,12 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
 #include "analysis/monotonicity.hpp"
 #include "analysis/rationality.hpp"
 #include "analysis/truthfulness.hpp"
 #include "auction/critical_value.hpp"
 #include "common/rng.hpp"
 #include "model/paper_examples.hpp"
+#include "model/scenario_io.hpp"
 #include "model/strategy.hpp"
 
 namespace mcs::auction {
@@ -509,6 +514,90 @@ TEST(OnlineGreedy, WindowedRandomInstancesStayRationalAndMonotone) {
     EXPECT_TRUE(mono.monotone()) << "trial " << trial << ": "
                                  << mono.summary();
   }
+}
+
+TEST(OnlineGreedy, DepartureIndexedPoolMatchesDefinitionOnRandomWindows) {
+  // The departure sweep is indexed by reported departure slot (erase only
+  // actual departures) instead of scanning every pool entry each slot.
+  // Pin the observable contract: at every slot t the recorded pool is
+  // exactly the phones with a~ <= t <= d~ that no earlier slot allocated,
+  // in (claimed cost, id) order -- recomputed here from the definition.
+  Rng rng(8642);
+  for (int trial = 0; trial < 30; ++trial) {
+    model::ScenarioBuilder builder(7);
+    builder.value(40);
+    const int phones = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < phones; ++i) {
+      const auto a = static_cast<Slot::rep_type>(rng.uniform_int(1, 7));
+      const auto d = static_cast<Slot::rep_type>(rng.uniform_int(a, 7));
+      builder.phone(a, d, rng.uniform_int(1, 25));  // duplicate costs likely
+    }
+    const int tasks = static_cast<int>(rng.uniform_int(1, 8));
+    for (int k = 0; k < tasks; ++k) {
+      builder.task(static_cast<Slot::rep_type>(rng.uniform_int(1, 7)));
+    }
+    const model::Scenario s = builder.build();
+    const model::BidProfile bids = s.truthful_bids();
+    const GreedyRun run = run_greedy_allocation(s, bids);
+
+    std::vector<bool> allocated(bids.size(), false);
+    for (const GreedySlotRecord& record : run.slots) {
+      const auto t = record.slot.value();
+      std::vector<PhoneId> expected;
+      for (std::size_t i = 0; i < bids.size(); ++i) {
+        if (!allocated[i] && bids[i].window.begin().value() <= t &&
+            t <= bids[i].window.end().value()) {
+          expected.push_back(PhoneId{static_cast<std::int32_t>(i)});
+        }
+      }
+      std::sort(expected.begin(), expected.end(),
+                [&](PhoneId a, PhoneId b) {
+                  const Money ca = bids[static_cast<std::size_t>(a.value())]
+                                       .claimed_cost;
+                  const Money cb = bids[static_cast<std::size_t>(b.value())]
+                                       .claimed_cost;
+                  if (ca != cb) return ca < cb;
+                  return a.value() < b.value();
+                });
+      EXPECT_EQ(record.pool, expected)
+          << "trial " << trial << " slot " << t;
+      for (const PhoneId winner : record.winners) {
+        allocated[static_cast<std::size_t>(winner.value())] = true;
+      }
+    }
+  }
+}
+
+TEST(OnlineGreedy, CriticalValueBoundSaturatesOnAdversarialScenarioFiles) {
+  // Regression: upper_bound = max_value + max_cost + 1 used raw int64
+  // addition, which is UB when a scenario_io file declares a task value
+  // near Money::max(). The bound now saturates and the bisection still
+  // terminates with the exact rival-cost threshold.
+  std::istringstream is(
+      "mcs-scenario v1\n"
+      "slots 2\n"
+      "value 2305843009213.693951\n"  // Money::max(): the printable ceiling
+      "phone 1 2 5\n"
+      "phone 1 2 7\n"
+      "task 1\n");
+  const model::Scenario s = model::read_scenario(is);
+  ASSERT_EQ(s.task_value, Money::max());
+  const std::optional<Money> critical =
+      greedy_critical_value(s, s.truthful_bids(), PhoneId{0});
+  ASSERT_TRUE(critical.has_value());
+  // Phone 0 beats the rival up to its cost (ties break toward the lower
+  // id), so the threshold sits one micro above the rival's 7.
+  EXPECT_EQ(*critical, Money::from_micros(7'000'001));
+}
+
+TEST(OnlineGreedy, SaturatingAddClampsInsteadOfOverflowing) {
+  EXPECT_EQ(Money::saturating_add(Money::max(), Money::from_units(1)),
+            Money::max());
+  EXPECT_EQ(Money::saturating_add(-Money::max(), -Money::from_units(1)),
+            -Money::max());
+  EXPECT_EQ(Money::saturating_add(Money::from_units(2), Money::from_units(3)),
+            Money::from_units(5));
+  EXPECT_EQ(Money::saturating_add(Money::max(), -Money::max()), Money{});
 }
 
 }  // namespace

@@ -180,14 +180,20 @@ TEST(CriticalValueEvents, ProbeTrailMatchesSummary) {
     ASSERT_NE(attr(probe, "won"), nullptr);
   }
   // The summary's probe count is the number of probe records, and the
-  // reported critical bid is the last bracket's lower end.
+  // reported critical bid is the returned threshold -- the last bracket's
+  // *upper* end (bisect_critical_value returns hi, and that is what the
+  // payment path charges; reporting lo here once made explains drift one
+  // micro below the money actually moved).
   EXPECT_EQ(std::get<std::int64_t>(*attr(*found, "probes")),
             static_cast<std::int64_t>(probes.size()));
   EXPECT_EQ(attr_money(*found, "critical_bid"),
-            attr_money(probes.back(), "lo"));
+            attr_money(probes.back(), "hi"));
+  EXPECT_EQ(attr_money(*found, "critical_bid"), *critical);
   // Paper worked example: Algorithm 2 pays phone 0 (Smartphone 1)
-  // exactly 9, and the payment is the critical value (Theorem 4).
-  EXPECT_EQ(attr_money(*found, "critical_bid"), Money::from_units(9));
+  // exactly 9; the bisection brackets that threshold to one micro from
+  // above, so the reported critical bid is 9.000001.
+  EXPECT_EQ(attr_money(*found, "critical_bid"), Money::from_micros(9'000'001));
+  EXPECT_EQ(attr_money(*found, "lo"), Money::from_units(9));
   // The inner counterfactual allocations stay out of the primary trail.
   for (const obs::Event& event : ring.events()) {
     EXPECT_NE(event.type, "task_assigned");
@@ -281,7 +287,9 @@ TEST(Explain, NamesTheCriticalBidOfTheWorkedExampleWinner) {
 
   std::istringstream is(os.str());
   const std::string story = analysis::explain_phone(is, 0);
-  EXPECT_NE(story.find("critical bid 9"), std::string::npos) << story;
+  // The explain renders the returned threshold (one micro above the
+  // bracketed bid of exactly 9), never a value below the payment charged.
+  EXPECT_NE(story.find("critical bid 9.000001"), std::string::npos) << story;
   EXPECT_NE(story.find("paid 9"), std::string::npos) << story;
   EXPECT_NE(story.find("verdict: phone 0 won"), std::string::npos) << story;
 }

@@ -523,7 +523,11 @@ TEST(PreregisterHeadlineCounters, StableKeySetWithHelp) {
   for (const char* name :
        {"matching.hungarian.iterations", "matching.hungarian.augmenting_paths",
         "matching.flow.augmenting_paths", "auction.critical_value.probes",
-        "auction.greedy.allocation_runs"}) {
+        "auction.greedy.allocation_runs",
+        "auction.counterfactual.payment_forks",
+        "auction.counterfactual.probe_forks",
+        "auction.counterfactual.slots_replayed",
+        "auction.counterfactual.slots_skipped"}) {
     ASSERT_TRUE(snap.counters.count(name) == 1) << name;
     EXPECT_EQ(snap.counters.at(name), 0) << name;
     EXPECT_FALSE(snap.help.at(name).empty()) << name;

@@ -1,0 +1,336 @@
+// Equivalence suite for the shared-prefix counterfactual engine.
+//
+// The engine's claim is exactness, not approximation: forking Algorithm
+// 2's counterfactuals from the factual per-slot checkpoints must produce
+// *Money-equal* payments to re-running Algorithm 1 from slot 1 (the
+// kFullReplay oracle), on every configuration corner -- reserve prices,
+// profitable-only allocation, weighted tasks, supply scarcity -- and the
+// parallel per-winner fan-out must be invisible: identical payments and
+// identical merged telemetry at every thread count.
+#include "auction/counterfactual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "auction/critical_value.hpp"
+#include "auction/online_greedy.hpp"
+#include "common/rng.hpp"
+#include "model/paper_examples.hpp"
+#include "model/strategy.hpp"
+#include "obs/metrics.hpp"
+#include "support/generators.hpp"
+
+namespace mcs::auction {
+namespace {
+
+using model::Scenario;
+
+OnlineGreedyConfig with_engine(OnlineGreedyConfig config,
+                               OnlineGreedyConfig::PaymentEngine engine) {
+  config.payment_engine = engine;
+  return config;
+}
+
+/// Every configuration corner the payment derivation branches on.
+std::vector<std::pair<std::string, OnlineGreedyConfig>> config_families() {
+  std::vector<std::pair<std::string, OnlineGreedyConfig>> families;
+  families.emplace_back("paper_default", OnlineGreedyConfig{});
+
+  OnlineGreedyConfig reserve;
+  reserve.reserve_price = Money::from_units(20);
+  families.emplace_back("reserve_20", reserve);
+
+  OnlineGreedyConfig profitable;
+  profitable.allocate_only_profitable = true;
+  families.emplace_back("profitable_only", profitable);
+
+  OnlineGreedyConfig own_bid;
+  own_bid.scarce_payment = OnlineGreedyConfig::ScarcePayment::kOwnBid;
+  families.emplace_back("scarce_own_bid", own_bid);
+
+  OnlineGreedyConfig both;
+  both.allocate_only_profitable = true;
+  both.reserve_price = Money::from_units(25);
+  families.emplace_back("reserve_and_profitable", both);
+  return families;
+}
+
+/// Weighted-query extension: per-task values around the cost range, so
+/// profitable-only decisions and scarce caps differ task by task.
+Scenario weighted_tasks(Rng& rng) {
+  const Slot::rep_type slots = 6;
+  model::ScenarioBuilder builder(slots);
+  builder.value(30);
+  const int phones = static_cast<int>(rng.uniform_int(2, 9));
+  for (int i = 0; i < phones; ++i) {
+    const auto a = static_cast<Slot::rep_type>(rng.uniform_int(1, slots));
+    const auto d = static_cast<Slot::rep_type>(rng.uniform_int(a, slots));
+    builder.phone(a, d, rng.uniform_int(1, 40));
+  }
+  const int tasks = static_cast<int>(rng.uniform_int(1, 7));
+  for (int k = 0; k < tasks; ++k) {
+    builder.valued_task(static_cast<Slot::rep_type>(rng.uniform_int(1, slots)),
+                        rng.uniform_int(1, 80));
+  }
+  return builder.build();
+}
+
+/// Core oracle: the shared-prefix run of `config` must equal the
+/// full-replay run outcome-for-outcome, payment-for-payment.
+void expect_engines_agree(const Scenario& scenario,
+                          const model::BidProfile& bids,
+                          const OnlineGreedyConfig& config,
+                          const std::string& label) {
+  const OnlineGreedyMechanism fast(
+      with_engine(config, OnlineGreedyConfig::PaymentEngine::kSharedPrefix));
+  const OnlineGreedyMechanism naive(
+      with_engine(config, OnlineGreedyConfig::PaymentEngine::kFullReplay));
+  const Outcome a = fast.run(scenario, bids);
+  const Outcome b = naive.run(scenario, bids);
+
+  ASSERT_EQ(a.payments.size(), b.payments.size()) << label;
+  for (std::size_t i = 0; i < a.payments.size(); ++i) {
+    EXPECT_EQ(a.payments[i], b.payments[i])
+        << label << ": phone " << i << " fast=" << a.payments[i]
+        << " naive=" << b.payments[i];
+  }
+  for (int k = 0; k < scenario.task_count(); ++k) {
+    EXPECT_EQ(a.allocation.phone_for(TaskId{k}),
+              b.allocation.phone_for(TaskId{k}))
+        << label << ": task " << k;
+  }
+}
+
+// ------------------------------------------------ fast == naive property
+
+TEST(PaymentEquivalence, SharedPrefixEqualsFullReplayAcrossConfigCorners) {
+  // 5 config families x 2 supply regimes x 20 scenarios = 200 cases,
+  // plus 40 weighted-task cases below: every payment Money-equal.
+  Rng rng(20260807);
+  for (const auto& [name, config] : config_families()) {
+    for (int i = 0; i < 20; ++i) {
+      const Scenario scarce = test_support::windowed(rng);
+      expect_engines_agree(scarce, scarce.truthful_bids(), config,
+                           name + "/windowed#" + std::to_string(i));
+      const Scenario free = test_support::scarcity_free(rng);
+      expect_engines_agree(free, free.truthful_bids(), config,
+                           name + "/scarcity_free#" + std::to_string(i));
+    }
+  }
+}
+
+TEST(PaymentEquivalence, SharedPrefixEqualsFullReplayOnWeightedTasks) {
+  Rng rng(424242);
+  for (const auto& [name, config] : config_families()) {
+    for (int i = 0; i < 8; ++i) {
+      const Scenario scenario = weighted_tasks(rng);
+      expect_engines_agree(scenario, scenario.truthful_bids(), config,
+                           name + "/weighted#" + std::to_string(i));
+    }
+  }
+}
+
+TEST(PaymentEquivalence, Fig4WorkedExamplePaysTheSameOnBothEngines) {
+  const Scenario scenario = model::fig4_scenario();
+  expect_engines_agree(scenario, scenario.truthful_bids(),
+                       OnlineGreedyConfig{}, "fig4");
+  // And both match the paper's hand-computed numbers (phones 1, 0, 6, 5, 3
+  // paid 11, 9, 8, 11, 11).
+  const OnlineGreedyMechanism fast;
+  const Outcome outcome = fast.run(scenario, scenario.truthful_bids());
+  EXPECT_EQ(outcome.payments[1], Money::from_units(11));
+  EXPECT_EQ(outcome.payments[0], Money::from_units(9));
+  EXPECT_EQ(outcome.payments[6], Money::from_units(8));
+  EXPECT_EQ(outcome.payments[5], Money::from_units(11));
+  EXPECT_EQ(outcome.payments[3], Money::from_units(11));
+}
+
+// -------------------------------------------- probe-level equivalence
+
+TEST(PaymentEquivalence, WinsWithCostMatchesFullRerunOnRandomProbes) {
+  Rng rng(777);
+  for (int i = 0; i < 40; ++i) {
+    const Scenario scenario = test_support::windowed(rng);
+    const model::BidProfile bids = scenario.truthful_bids();
+    const OnlineGreedyConfig config;
+    const CounterfactualEngine engine(scenario, bids, config);
+    for (int p = 0; p < scenario.phone_count(); ++p) {
+      const PhoneId phone{p};
+      for (int probe = 0; probe < 4; ++probe) {
+        const Money cost = Money::from_micros(rng.uniform_int(0, 45'000'000));
+        const model::BidProfile probed = model::with_bid(
+            bids, phone,
+            model::Bid{bids[static_cast<std::size_t>(p)].window, cost});
+        const GreedyRun full = run_greedy_allocation(scenario, probed, config);
+        EXPECT_EQ(engine.wins_with_cost(phone, cost),
+                  full.allocation.is_winner(phone))
+            << "scenario#" << i << " phone " << p << " cost " << cost;
+      }
+    }
+  }
+}
+
+/// The pre-engine bisection predicate: a full Algorithm-1 re-run per
+/// probe. Kept in-test as the independent oracle for the engine-backed
+/// greedy_critical_value.
+std::optional<Money> full_rerun_critical_value(const Scenario& scenario,
+                                               const model::BidProfile& bids,
+                                               PhoneId phone,
+                                               const OnlineGreedyConfig& config) {
+  Money max_cost;
+  for (const model::Bid& bid : bids) {
+    max_cost = std::max(max_cost, bid.claimed_cost);
+  }
+  Money max_value = scenario.task_value;
+  for (const model::Task& task : scenario.tasks) {
+    max_value = std::max(max_value, scenario.value_of(task.id));
+  }
+  const Money upper_bound = Money::saturating_add(
+      Money::saturating_add(max_value, max_cost), Money::from_units(1));
+  const model::Bid& own = bids[static_cast<std::size_t>(phone.value())];
+  const WinsWithCost wins = [&](Money cost) {
+    const model::BidProfile probe =
+        model::with_bid(bids, phone, model::Bid{own.window, cost});
+    return run_greedy_allocation(scenario, probe, config)
+        .allocation.is_winner(phone);
+  };
+  return bisect_critical_value(wins, upper_bound, 1, phone.value());
+}
+
+TEST(PaymentEquivalence, FastPaymentsEqualBisectedCriticalValues) {
+  // In the scarcity-free regime every winner's payment is its critical
+  // value (Theorem 4): the fast path must land within one micro of the
+  // engine-backed bisection, and that bisection must agree *exactly* with
+  // the full-rerun bisection oracle.
+  Rng rng(90210);
+  for (int i = 0; i < 25; ++i) {
+    const Scenario scenario = test_support::scarcity_free(rng);
+    const model::BidProfile bids = scenario.truthful_bids();
+    const OnlineGreedyConfig config;
+    const OnlineGreedyMechanism mechanism(config);
+    const Outcome outcome = mechanism.run(scenario, bids);
+    const CounterfactualEngine engine(scenario, bids, config);
+    for (const PhoneId winner : outcome.allocation.winners()) {
+      const std::optional<Money> fast_critical =
+          greedy_critical_value(engine, winner);
+      const std::optional<Money> oracle_critical =
+          full_rerun_critical_value(scenario, bids, winner, config);
+      EXPECT_EQ(fast_critical, oracle_critical)
+          << "scenario#" << i << " phone " << winner.value();
+      ASSERT_TRUE(fast_critical.has_value())
+          << "scarcity-free winners have bounded critical values";
+      const Money payment =
+          outcome.payments[static_cast<std::size_t>(winner.value())];
+      const std::int64_t gap =
+          std::abs(payment.micros() - fast_critical->micros());
+      EXPECT_LE(gap, 1) << "scenario#" << i << " phone " << winner.value()
+                        << " payment " << payment << " vs critical "
+                        << *fast_critical;
+    }
+  }
+}
+
+// ------------------------------------------- parallel fan-out determinism
+
+TEST(PaymentEquivalence, ParallelPaymentsAreDeterministicAcrossThreadCounts) {
+  // simulate_parallel-style contract: worker-local registries merged in
+  // worker order make the fan-out invisible -- payments AND merged
+  // counters identical at 1, 2, and 8 threads.
+  Rng rng(5150);
+  const test_support::GeneratorLimits big{.slots = 12,
+                                          .max_phones = 24,
+                                          .max_tasks = 16,
+                                          .max_cost_units = 60,
+                                          .value_units = 80};
+  for (int i = 0; i < 6; ++i) {
+    const Scenario scenario = test_support::windowed(rng, big);
+    const model::BidProfile bids = scenario.truthful_bids();
+
+    std::optional<Outcome> reference;
+    std::optional<std::map<std::string, std::int64_t>> reference_counters;
+    for (const int threads : {1, 2, 8}) {
+      OnlineGreedyConfig config;
+      config.payment_threads = threads;
+      const OnlineGreedyMechanism mechanism(config);
+
+      obs::MetricsRegistry registry;
+      std::optional<Outcome> outcome;
+      {
+        const obs::ScopedRegistry guard(&registry);
+        outcome = mechanism.run(scenario, bids);
+      }
+      const obs::MetricsSnapshot snapshot = registry.snapshot();
+      std::map<std::string, std::int64_t> counters;
+      for (const auto& [name, value] : snapshot.counters) {
+        if (name.rfind("span.", 0) != 0) counters[name] = value;
+      }
+
+      if (!reference) {
+        reference = outcome;
+        reference_counters = counters;
+        continue;
+      }
+      EXPECT_EQ(outcome->payments, reference->payments)
+          << "scenario#" << i << " threads=" << threads;
+      EXPECT_EQ(counters, *reference_counters)
+          << "scenario#" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PaymentEquivalence, HardwareConcurrencyFanOutMatchesSerial) {
+  const Scenario scenario = model::fig4_scenario();
+  OnlineGreedyConfig config;
+  config.payment_threads = 0;  // hardware concurrency
+  const OnlineGreedyMechanism parallel(config);
+  const OnlineGreedyMechanism serial;
+  EXPECT_EQ(parallel.run(scenario, scenario.truthful_bids()).payments,
+            serial.run(scenario, scenario.truthful_bids()).payments);
+}
+
+// ----------------------------------------------------- counter contract
+
+TEST(PaymentEquivalence, SharedPrefixReplacesFullRunsWithForks) {
+  // The whole point: counterfactual work stops being counted as full
+  // allocation runs. The fast path performs exactly one Algorithm-1 pass
+  // (the factual one) per run() and a fork per winner, while the oracle
+  // path still re-runs per winner; forks skip the pre-arrival prefix.
+  const Scenario scenario = model::fig4_scenario();
+  const model::BidProfile bids = scenario.truthful_bids();
+  const auto winners =
+      static_cast<std::int64_t>(OnlineGreedyMechanism()
+                                    .run(scenario, bids)
+                                    .allocation.winners()
+                                    .size());
+
+  obs::MetricsRegistry fast_registry;
+  {
+    const obs::ScopedRegistry guard(&fast_registry);
+    (void)OnlineGreedyMechanism().run(scenario, bids);
+  }
+  const obs::MetricsSnapshot fast = fast_registry.snapshot();
+  EXPECT_EQ(fast.counters.at("auction.greedy.allocation_runs"), 1);
+  EXPECT_EQ(fast.counters.at("auction.counterfactual.payment_forks"), winners);
+  EXPECT_GT(fast.counters.at("auction.counterfactual.slots_skipped"), 0);
+
+  obs::MetricsRegistry naive_registry;
+  {
+    const obs::ScopedRegistry guard(&naive_registry);
+    const OnlineGreedyMechanism oracle(with_engine(
+        OnlineGreedyConfig{}, OnlineGreedyConfig::PaymentEngine::kFullReplay));
+    (void)oracle.run(scenario, bids);
+  }
+  const obs::MetricsSnapshot naive = naive_registry.snapshot();
+  EXPECT_EQ(naive.counters.at("auction.greedy.allocation_runs"), 1 + winners);
+  EXPECT_EQ(naive.counters.count("auction.counterfactual.payment_forks"), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::auction
