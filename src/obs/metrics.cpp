@@ -224,6 +224,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 double estimate_quantile(const MetricsSnapshot::HistogramData& data,
                          double q) {
   if (data.count <= 0) return std::numeric_limits<double>::quiet_NaN();
+  if (data.count == 1) return data.min;  // one sample: every quantile is it
   if (q <= 0.0) return data.min;
   if (q >= 1.0) return data.max;
   const double target = q * static_cast<double>(data.count);
@@ -234,9 +235,16 @@ double estimate_quantile(const MetricsSnapshot::HistogramData& data,
     if (static_cast<double>(cumulative) < target || data.bucket_counts[b] == 0) {
       continue;
     }
-    const double lower = b == 0 ? data.min : data.boundaries[b - 1];
-    const double upper =
-        b < data.boundaries.size() ? data.boundaries[b] : data.max;
+    // Bucket edges, tightened by the tracked extrema: the overflow bucket
+    // has no upper boundary (use max) and a low-outlier min can undercut
+    // boundaries[b-1], so clamp both edges into [min, max] before
+    // interpolating -- otherwise an all-overflow histogram would
+    // extrapolate past the largest recorded sample.
+    double lower = b == 0 ? data.min : data.boundaries[b - 1];
+    double upper = b < data.boundaries.size() ? data.boundaries[b] : data.max;
+    lower = std::max(lower, data.min);
+    upper = std::min(upper, data.max);
+    if (!(upper > lower)) return std::clamp(lower, data.min, data.max);
     const double position = (target - static_cast<double>(prev)) /
                             static_cast<double>(data.bucket_counts[b]);
     const double estimate = lower + (upper - lower) * position;

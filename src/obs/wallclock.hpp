@@ -1,0 +1,61 @@
+// Injectable monotonic wall clock for the live timing plane.
+//
+// The deterministic counter plane (obs/metrics.hpp) must never depend on
+// wall time -- bench-diff compares its counters bit for bit. The live
+// timing plane (obs/latency_sketch.hpp, obs/rolling_window.hpp,
+// serve/telemetry.hpp) is the opposite: it exists to measure wall-clock
+// latency while serving. Every component of that plane reads time through
+// this interface so tests can drive it with a FakeClock and get
+// byte-reproducible snapshots, while production uses the steady clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mcs::obs {
+
+/// Monotonic nanosecond clock. Implementations must never go backwards.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+/// std::chrono::steady_clock, as nanoseconds since an arbitrary epoch.
+class SteadyClock final : public MonotonicClock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Process-wide steady clock instance (the default everywhere a
+/// MonotonicClock* is optional).
+[[nodiscard]] inline MonotonicClock& steady_clock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+/// Manually advanced clock for tests. Thread-safe; advance() never moves
+/// time backwards by construction.
+class FakeClock final : public MonotonicClock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void advance_ms(std::uint64_t delta) { advance_ns(delta * 1'000'000ULL); }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace mcs::obs

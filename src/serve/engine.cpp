@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "serve/telemetry.hpp"
 
 namespace mcs::serve {
 
@@ -61,35 +62,47 @@ int shard_of_round(std::int64_t round, int shards) {
 
 // --------------------------------------------------------- bounded queue
 
-bool ServeEngine::BoundedQueue::push_block(const ServeEvent& event) {
+std::int64_t ServeEngine::BoundedQueue::push_block(const Queued& item) {
   std::unique_lock lock(mutex_);
   not_full_.wait(lock,
                  [&] { return closed_ || items_.size() < capacity_; });
-  if (closed_) return false;
-  items_.push_back(event);
+  if (closed_) return -1;
+  items_.push_back(item);
+  const auto depth = static_cast<std::int64_t>(items_.size());
+  high_watermark_ = std::max(high_watermark_, depth);
   not_empty_.notify_one();
-  return true;
+  return depth;
 }
 
-bool ServeEngine::BoundedQueue::try_push(const ServeEvent& event) {
+std::int64_t ServeEngine::BoundedQueue::try_push(const Queued& item) {
+  std::int64_t depth = -1;
   {
     const std::scoped_lock lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(event);
+    if (closed_ || items_.size() >= capacity_) return -1;
+    items_.push_back(item);
+    depth = static_cast<std::int64_t>(items_.size());
+    high_watermark_ = std::max(high_watermark_, depth);
   }
   not_empty_.notify_one();
-  return true;
+  return depth;
 }
 
-std::optional<ServeEvent> ServeEngine::BoundedQueue::pop() {
+std::optional<ServeEngine::Popped> ServeEngine::BoundedQueue::pop() {
   std::unique_lock lock(mutex_);
   not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
   if (items_.empty()) return std::nullopt;  // closed and drained
-  ServeEvent event = std::move(items_.front());
+  Popped popped{std::move(items_.front().event), items_.front().enqueue_ns,
+                0};
   items_.pop_front();
+  popped.depth_left = static_cast<std::int64_t>(items_.size());
   lock.unlock();
   not_full_.notify_one();
-  return event;
+  return popped;
+}
+
+std::int64_t ServeEngine::BoundedQueue::high_watermark() const {
+  const std::scoped_lock lock(mutex_);
+  return high_watermark_;
 }
 
 void ServeEngine::BoundedQueue::close() {
@@ -106,9 +119,13 @@ void ServeEngine::BoundedQueue::close() {
 ServeEngine::ServeEngine(ServeConfig config)
     : config_(std::move(config)), parent_registry_(obs::current_registry()) {
   config_.validate();
+  if (config_.live != nullptr) {
+    config_.live->attach(config_.shards,
+                         static_cast<std::int64_t>(config_.queue_capacity));
+  }
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(i, config_.queue_capacity));
   }
   // Start the workers only after every shard exists (shard_of_round may
   // route to any of them from the first submit on).
@@ -132,19 +149,24 @@ SubmitStatus ServeEngine::submit(const ServeEvent& event) {
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::kRejectedStopped;
   }
-  Shard& shard = *shards_[static_cast<std::size_t>(
-      shard_of_round(event.round, config_.shards))];
-  const bool accepted = config_.admission == ServeConfig::Admission::kBlock
-                            ? shard.queue.push_block(event)
-                            : shard.queue.try_push(event);
-  if (!accepted) {
+  LiveTelemetry* const live = config_.live;
+  const int shard_index = shard_of_round(event.round, config_.shards);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  const Queued item{event, live != nullptr ? live->now_ns() : 0};
+  const std::int64_t depth =
+      config_.admission == ServeConfig::Admission::kBlock
+          ? shard.queue.push_block(item)
+          : shard.queue.try_push(item);
+  if (depth < 0) {
     if (stopping_.load(std::memory_order_relaxed)) {
       return SubmitStatus::kRejectedStopped;
     }
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (live != nullptr) live->on_reject(shard_index);
     return SubmitStatus::kRejectedQueueFull;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (live != nullptr) live->on_submit(shard_index, depth);
   return SubmitStatus::kAccepted;
 }
 
@@ -156,16 +178,27 @@ void ServeEngine::worker_main(Shard& shard) {
   if (parent_registry_ != nullptr) guard.emplace(&shard.registry);
   const obs::TraceSpan span("serve.shard");
 
+  LiveTelemetry* const live = config_.live;
   std::unordered_map<std::int64_t, RoundMachine> machines;
-  while (std::optional<ServeEvent> event = shard.queue.pop()) {
+  std::unordered_map<std::int64_t, std::uint64_t> open_ns;  // live plane
+  while (std::optional<Popped> popped = shard.queue.pop()) {
+    std::uint64_t now = 0;
+    if (live != nullptr) {
+      now = live->now_ns();
+      live->on_process(shard.index,
+                       now >= popped->enqueue_ns ? now - popped->enqueue_ns
+                                                 : 0,
+                       popped->depth_left);
+    }
     if (!shard.error.empty()) continue;  // poisoned: drain without work
     try {
-      process_event(shard, machines, *event);
+      process_event(shard, machines, open_ns, popped->event, now);
     } catch (const Error& e) {
       if (config_.admission == ServeConfig::Admission::kReject) {
         // Shedding already made the stream lossy; a hole in one round's
         // event sequence drops that round, not the whole engine.
-        machines.erase(event->round);
+        machines.erase(popped->event.round);
+        open_ns.erase(popped->event.round);
         ++shard.stats.rounds_corrupted;
         obs::count("serve.rounds_corrupted");
       } else {
@@ -179,13 +212,19 @@ void ServeEngine::worker_main(Shard& shard) {
     obs::count("serve.rounds_abandoned",
                static_cast<std::int64_t>(machines.size()));
   }
+  shard.stats.queue_high_watermark = shard.queue.high_watermark();
+  obs::set_gauge(
+      "serve.shard." + std::to_string(shard.index) + ".queue_high_watermark",
+      static_cast<double>(shard.stats.queue_high_watermark));
 }
 
 void ServeEngine::process_event(
     Shard& shard, std::unordered_map<std::int64_t, RoundMachine>& machines,
-    const ServeEvent& event) {
+    std::unordered_map<std::int64_t, std::uint64_t>& open_ns,
+    const ServeEvent& event, std::uint64_t now_ns) {
   ++shard.stats.processed;
   obs::count(event_counter_name(event.kind));
+  LiveTelemetry* const live = config_.live;
 
   if (event.kind == ServeEventKind::kRoundOpen) {
     if (machines.contains(event.round)) {
@@ -194,6 +233,7 @@ void ServeEngine::process_event(
                                  ": duplicate round_open");
     }
     machines.emplace(event.round, RoundMachine(event, config_.greedy));
+    if (live != nullptr) open_ns[event.round] = now_ns;
     return;
   }
 
@@ -212,6 +252,15 @@ void ServeEngine::process_event(
   if (it->second.apply(event)) {
     RoundOutcome outcome = it->second.take_outcome();
     machines.erase(it);
+    if (live != nullptr) {
+      const auto opened = open_ns.find(event.round);
+      if (opened != open_ns.end()) {
+        live->on_round_close(
+            shard.index,
+            now_ns >= opened->second ? now_ns - opened->second : 0);
+        open_ns.erase(opened);
+      }
+    }
     ++shard.stats.rounds_completed;
     shard.stats.tasks_announced += outcome.tasks_announced;
     shard.stats.bids_admitted += outcome.bids_admitted;
@@ -242,7 +291,15 @@ void ServeEngine::drain() {
     totals_.tasks_announced += shard->stats.tasks_announced;
     totals_.bids_admitted += shard->stats.bids_admitted;
     totals_.bids_rejected_reserve += shard->stats.bids_rejected_reserve;
+    totals_.queue_high_watermark = std::max(
+        totals_.queue_high_watermark, shard->stats.queue_high_watermark);
     totals_.total_paid += shard->stats.total_paid;
+  }
+  if (parent_registry_ != nullptr) {
+    parent_registry_
+        ->gauge("serve.queue_high_watermark",
+                "highest queue depth any shard reached (max over shards)")
+        .set(static_cast<double>(totals_.queue_high_watermark));
   }
   totals_.submitted = submitted_.load(std::memory_order_relaxed);
   totals_.rejected_backpressure = rejected_.load(std::memory_order_relaxed);

@@ -18,6 +18,13 @@
 // Telemetry: when a MetricsRegistry is installed on the constructing
 // thread, each worker records into its own shard registry and drain()
 // folds them into the installed one via the deterministic registry merge.
+// That is the deterministic plane. Installing a LiveTelemetry in the
+// config additionally turns on the wall-clock plane (serve/telemetry.hpp):
+// submit->process queue waits, round open->close latencies, queue-depth
+// watermarks and reject rates, recorded per shard into latency sketches a
+// snapshot thread publishes while serving. The two planes never mix: live
+// recording writes no registry counter, so the deterministic merge stays
+// bit-identical whether live telemetry is on or off.
 #pragma once
 
 #include <atomic>
@@ -40,6 +47,8 @@
 
 namespace mcs::serve {
 
+class LiveTelemetry;
+
 struct ServeConfig {
   /// Worker shards; rounds are hashed across them.
   int shards = 1;
@@ -59,6 +68,11 @@ struct ServeConfig {
 
   /// Mechanism knobs applied to every round (reserve, profitability, ...).
   auction::OnlineGreedyConfig greedy;
+
+  /// Optional wall-clock plane (non-owning; must outlive the engine). The
+  /// engine attaches it at construction and records queue waits, round
+  /// latencies, and watermarks into it while serving.
+  LiveTelemetry* live = nullptr;
 
   /// Throws InvalidArgumentError when out of domain.
   void validate() const;
@@ -89,6 +103,9 @@ struct ServeStats {
   std::int64_t tasks_announced{0};
   std::int64_t bids_admitted{0};
   std::int64_t bids_rejected_reserve{0};
+  /// Highest queue depth any shard reached (max-merged at drain). The
+  /// value itself is scheduling-dependent; only the merge is deterministic.
+  std::int64_t queue_high_watermark{0};
   Money total_paid;
 };
 
@@ -125,31 +142,53 @@ class ServeEngine {
   [[nodiscard]] const ServeStats& stats() const;
 
  private:
+  /// One queued event plus its live-plane enqueue stamp (0 when the
+  /// wall-clock plane is off -- the clock is never read then).
+  struct Queued {
+    ServeEvent event;
+    std::uint64_t enqueue_ns{0};
+  };
+
+  /// One popped event with the queue state the consumer observed.
+  struct Popped {
+    ServeEvent event;
+    std::uint64_t enqueue_ns{0};
+    std::int64_t depth_left{0};  ///< items remaining after this pop
+  };
+
   /// Bounded MPSC queue: many producers (submit), one consumer (worker).
+  /// Push results report the depth after the push (-1 = not enqueued) so
+  /// the live plane can track watermarks without re-locking.
   class BoundedQueue {
    public:
     explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
-    /// Blocks until space; false when the queue was closed meanwhile.
-    bool push_block(const ServeEvent& event);
-    /// Fails fast: false when full or closed.
-    bool try_push(const ServeEvent& event);
+    /// Blocks until space; -1 when the queue was closed meanwhile.
+    std::int64_t push_block(const Queued& item);
+    /// Fails fast: -1 when full or closed.
+    std::int64_t try_push(const Queued& item);
     /// Blocks for the next event; nullopt when closed and empty.
-    std::optional<ServeEvent> pop();
+    std::optional<Popped> pop();
     void close();
+    /// Highest depth ever reached (the deterministic-plane stat merged
+    /// into ServeStats at drain).
+    [[nodiscard]] std::int64_t high_watermark() const;
 
    private:
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
-    std::deque<ServeEvent> items_;
+    std::deque<Queued> items_;
     std::size_t capacity_;
+    std::int64_t high_watermark_{0};
     bool closed_{false};
   };
 
   struct Shard {
-    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    Shard(int index, std::size_t queue_capacity)
+        : index(index), queue(queue_capacity) {}
 
+    int index;
     BoundedQueue queue;
     std::thread worker;
     obs::MetricsRegistry registry;  ///< used only when telemetry is on
@@ -161,7 +200,8 @@ class ServeEngine {
   void worker_main(Shard& shard);
   void process_event(Shard& shard,
                      std::unordered_map<std::int64_t, RoundMachine>& machines,
-                     const ServeEvent& event);
+                     std::unordered_map<std::int64_t, std::uint64_t>& open_ns,
+                     const ServeEvent& event, std::uint64_t now_ns);
 
   ServeConfig config_;
   obs::MetricsRegistry* parent_registry_;  ///< merge target; may be null

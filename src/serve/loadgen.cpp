@@ -1,7 +1,11 @@
 #include "serve/loadgen.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <ostream>
+#include <thread>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace mcs::serve {
@@ -64,6 +68,48 @@ std::int64_t write_event_stream(std::ostream& os,
     write_serve_event(os, event);
     return static_cast<bool>(os);
   });
+}
+
+PaceReport run_paced_load(
+    const LoadGenConfig& config, const PaceConfig& pace,
+    const std::function<bool(const ServeEvent&)>& submit) {
+  if (!(pace.target_eps > 0.0)) {
+    throw InvalidArgumentError("paced load requires target_eps > 0");
+  }
+  obs::MonotonicClock& clock =
+      pace.clock != nullptr ? *pace.clock : obs::steady_clock();
+  const auto sleep_ns =
+      pace.sleep_ns ? pace.sleep_ns : [](std::uint64_t ns) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+      };
+  const double gap_ns = 1e9 / pace.target_eps;
+
+  PaceReport report;
+  const std::uint64_t t0 = clock.now_ns();
+  generate_events(config, [&](const ServeEvent& event) {
+    const std::uint64_t deadline =
+        t0 + static_cast<std::uint64_t>(gap_ns *
+                                        static_cast<double>(report.offered));
+    std::uint64_t now = clock.now_ns();
+    if (now < deadline) {
+      sleep_ns(deadline - now);
+      now = clock.now_ns();
+    }
+    if (now > deadline) {
+      const std::uint64_t lag = now - deadline;
+      report.max_lag_ns = std::max(report.max_lag_ns, lag);
+      if (static_cast<double>(lag) > gap_ns) ++report.late_events;
+    }
+    ++report.offered;
+    if (submit(event)) {
+      ++report.accepted;
+    } else {
+      ++report.shed;
+    }
+    return true;
+  });
+  report.duration_ns = clock.now_ns() - t0;
+  return report;
 }
 
 }  // namespace mcs::serve

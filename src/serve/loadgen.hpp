@@ -18,6 +18,7 @@
 
 #include "model/scenario.hpp"
 #include "model/workload.hpp"
+#include "obs/wallclock.hpp"
 #include "serve/event.hpp"
 
 namespace mcs::serve {
@@ -48,5 +49,42 @@ std::int64_t generate_events(
 /// Writes the whole load as an mcs.serve.v1 JSONL stream (header line
 /// first). Returns the number of events written (header excluded).
 std::int64_t write_event_stream(std::ostream& os, const LoadGenConfig& config);
+
+// --------------------------------------------------- open-loop pacing mode
+
+/// Open-loop pacing: event k has the deterministic send deadline
+/// t0 + k / target_eps, independent of how the consumer keeps up -- the
+/// producer sleeps when ahead of schedule and NEVER slows down when the
+/// engine lags (that is what makes overload inducible; a closed loop would
+/// just throttle itself). When the producer itself falls behind schedule
+/// (e.g. a kBlock engine exerting backpressure through submit), the lag is
+/// accounted instead of silently absorbed.
+struct PaceConfig {
+  /// Target offered load, events per second. Must be > 0.
+  double target_eps = 0.0;
+  /// Time source; nullptr = the process steady clock. Tests inject a
+  /// FakeClock (with a no-op sleeper) for a fully deterministic run.
+  obs::MonotonicClock* clock = nullptr;
+  /// Sleep hook; nullptr = std::this_thread::sleep_for.
+  std::function<void(std::uint64_t ns)> sleep_ns;
+};
+
+struct PaceReport {
+  std::int64_t offered{0};   ///< events handed to `submit`
+  std::int64_t accepted{0};  ///< submit returned true
+  std::int64_t shed{0};      ///< submit returned false
+  /// Events sent more than one inter-event gap behind their deadline --
+  /// the producer could not hold target_eps (backpressure or overload).
+  std::int64_t late_events{0};
+  std::uint64_t max_lag_ns{0};   ///< worst observed schedule lag
+  std::uint64_t duration_ns{0};  ///< first deadline to last send
+};
+
+/// Streams the whole load through `submit` at the paced schedule.
+/// `submit` reports whether the event was accepted (admission control
+/// shedding returns false); either way the schedule marches on.
+PaceReport run_paced_load(
+    const LoadGenConfig& config, const PaceConfig& pace,
+    const std::function<bool(const ServeEvent&)>& submit);
 
 }  // namespace mcs::serve

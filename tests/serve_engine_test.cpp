@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <string>
@@ -401,6 +402,41 @@ TEST(ServeEngine, StatsAggregateAcrossShards) {
   }
   EXPECT_EQ(stats.total_paid, total);
   EXPECT_EQ(stats.tasks_announced, tasks);
+}
+
+TEST(ServeEngine, QueueHighWatermarkIsTrackedAndMaxMerged) {
+  // The watermark's value is scheduling-dependent, but it must be > 0
+  // whenever anything queued, bounded by capacity, and max-merged into the
+  // drain totals (plus exported as the serve.queue_high_watermark gauge).
+  const std::vector<ServeEvent> events = events_of(small_load(4));
+  obs::MetricsRegistry registry;
+  std::int64_t watermark = 0;
+  {
+    const obs::ScopedRegistry guard(&registry);
+    ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 8;
+    ServeEngine engine(config);
+    for (const ServeEvent& event : events) engine.submit(event);
+    engine.drain();
+    watermark = engine.stats().queue_high_watermark;
+  }
+  EXPECT_GT(watermark, 0);
+  EXPECT_LE(watermark, 8);
+  const auto gauges = registry.snapshot().gauges;
+  ASSERT_EQ(gauges.count("serve.queue_high_watermark"), 1u);
+  EXPECT_EQ(static_cast<std::int64_t>(gauges.at("serve.queue_high_watermark")),
+            watermark);
+  // Per-shard gauges exist for every shard and max up to the total.
+  std::int64_t shard_max = 0;
+  for (const int shard : {0, 1}) {
+    const std::string name =
+        "serve.shard." + std::to_string(shard) + ".queue_high_watermark";
+    ASSERT_EQ(gauges.count(name), 1u) << name;
+    shard_max = std::max(shard_max,
+                         static_cast<std::int64_t>(gauges.at(name)));
+  }
+  EXPECT_EQ(shard_max, watermark);
 }
 
 TEST(ServeConfigTest, ValidateRejectsOutOfDomainKnobs) {

@@ -46,6 +46,7 @@
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/replay.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/verify.hpp"
 #include "sim/experiments.hpp"
 #include "sim/html_report.hpp"
@@ -507,6 +508,15 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_string("trace-out", "",
                  "write the span tree in Chrome Trace Event Format "
                  "(Perfetto / chrome://tracing)");
+  cli.add_string("stats-out", "",
+                 "stream live mcs.serve_stats.v1 snapshots (JSONL) while "
+                 "serving; enables the wall-clock telemetry plane");
+  cli.add_int("stats-period-ms", 100, "live snapshot period in milliseconds");
+  cli.add_string("stats-prom", "",
+                 "write the final live snapshot as Prometheus text");
+  cli.add_double("target-eps", 0.0,
+                 "open-loop pacing: offered events/sec (0 = as fast as "
+                 "possible; loadgen only)");
   if (!cli.parse(argc, argv)) return 0;
 
   serve::ServeConfig config;
@@ -541,18 +551,46 @@ int cmd_serve(int argc, const char* const* argv) {
         "combined with --replay");
   }
 
+  const std::string stats_path = cli.get_string("stats-out");
+  const std::string prom_path = cli.get_string("stats-prom");
+  const double target_eps = cli.get_double("target-eps");
+  if (target_eps > 0.0 && !use_loadgen) {
+    throw InvalidArgumentError(
+        "--target-eps paces the load generator; it cannot be combined "
+        "with --replay");
+  }
+  // Any live flag turns on the wall-clock plane (it is off by default so
+  // the deterministic plane never pays for clock reads it does not need).
+  std::unique_ptr<serve::LiveTelemetry> live;
+  if (!stats_path.empty() || !prom_path.empty() || target_eps > 0.0) {
+    live = std::make_unique<serve::LiveTelemetry>();
+    config.live = live.get();
+  }
+
   CliTelemetry telemetry(cli.get_string("metrics-out"),
                          cli.get_switch("trace"),
                          cli.get_string("trace-out"));
 
   std::int64_t offered = 0;
   std::int64_t shed = 0;
+  serve::PaceReport pace_report;
   std::vector<serve::RoundOutcome> outcomes;
   serve::ServeStats stats;
   const auto start = std::chrono::steady_clock::now();
   {
     const obs::TraceSpan span("cli.serve");
     serve::ServeEngine engine(config);
+
+    std::ofstream stats_file;
+    std::unique_ptr<serve::StatsPublisher> publisher;
+    if (!stats_path.empty()) {
+      stats_file.open(stats_path);
+      if (!stats_file) throw IoError("cannot open stats file: " + stats_path);
+      publisher = std::make_unique<serve::StatsPublisher>(
+          *live, stats_file,
+          std::chrono::milliseconds(cli.get_int("stats-period-ms")));
+    }
+
     if (use_loadgen) {
       std::ofstream events_file;
       const std::string events_path = cli.get_string("events-out");
@@ -563,11 +601,22 @@ int cmd_serve(int argc, const char* const* argv) {
         }
         serve::write_stream_header(events_file);
       }
-      offered = serve::generate_events(load, [&](const serve::ServeEvent& e) {
+      const auto submit = [&](const serve::ServeEvent& e) {
         if (events_file.is_open()) serve::write_serve_event(events_file, e);
-        if (engine.submit(e) != serve::SubmitStatus::kAccepted) ++shed;
-        return true;
-      });
+        return engine.submit(e) == serve::SubmitStatus::kAccepted;
+      };
+      if (target_eps > 0.0) {
+        serve::PaceConfig pace;
+        pace.target_eps = target_eps;
+        pace_report = serve::run_paced_load(load, pace, submit);
+        offered = pace_report.offered;
+        shed = pace_report.shed;
+      } else {
+        offered = serve::generate_events(load, [&](const serve::ServeEvent& e) {
+          if (!submit(e)) ++shed;
+          return true;
+        });
+      }
     } else {
       std::ifstream stream(replay_path);
       if (!stream) throw IoError("cannot open event stream: " + replay_path);
@@ -577,6 +626,13 @@ int cmd_serve(int argc, const char* const* argv) {
       shed = replayed.shed;
     }
     engine.drain();
+    if (publisher) publisher->stop();  // flushes the final tail snapshot
+    if (!prom_path.empty()) {
+      std::ofstream prom_file(prom_path);
+      if (!prom_file) throw IoError("cannot open stats file: " + prom_path);
+      const serve::ServeSnapshot tail = live->take_snapshot();
+      serve::render_live_prometheus(prom_file, tail);
+    }
     outcomes = engine.take_outcomes();
     stats = engine.stats();
   }
@@ -609,6 +665,25 @@ int cmd_serve(int argc, const char* const* argv) {
               << static_cast<std::int64_t>(
                      static_cast<double>(stats.processed) / seconds)
               << " events/sec over " << seconds << " s\n";
+  }
+  if (target_eps > 0.0) {
+    std::cout << "pacing: offered " << pace_report.offered
+              << " events at target " << target_eps << " events/sec, "
+              << pace_report.late_events << " late sends (max lag "
+              << static_cast<double>(pace_report.max_lag_ns) / 1e6
+              << " ms)\n";
+  }
+  if (live) {
+    const serve::LiveSummary summary = live->summary();
+    std::cout << "live: queue_wait p50/p99 "
+              << summary.queue_wait.quantile_us(0.5) << "/"
+              << summary.queue_wait.quantile_us(0.99)
+              << " us, round_close p50/p99 "
+              << summary.round_latency.quantile_us(0.5) << "/"
+              << summary.round_latency.quantile_us(0.99) << " us, "
+              << static_cast<std::int64_t>(summary.events_per_sec())
+              << " events/sec live, queue high watermark "
+              << summary.queue_high_watermark << '\n';
   }
 
   if (cli.get_switch("verify")) {
