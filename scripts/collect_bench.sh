@@ -58,6 +58,24 @@ if [ "${#GBENCHES[@]}" -eq 0 ]; then
   exit 1
 fi
 
+# Every bench the committed baseline covers must be present: a silently
+# skipped binary would make the merged report lose keys and bench-diff
+# would read the hole as "this bench was deleted", not "the build broke".
+EXPECTED_GBENCHES=(perf_econ perf_matching perf_mechanisms perf_payments
+                   perf_serve perf_serve_latency)
+for expected in "${EXPECTED_GBENCHES[@]}"; do
+  found=0
+  for bench in "${GBENCHES[@]}"; do
+    [ "$bench" = "$expected" ] && found=1 && break
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "error: expected bench binary '$expected' missing from $BUILD_DIR/bench;" \
+         "build it (cmake --build $BUILD_DIR --target $expected) or update" \
+         "EXPECTED_GBENCHES in scripts/collect_bench.sh" >&2
+    exit 1
+  fi
+done
+
 # Plain (non-google-benchmark) benches that report telemetry via
 # bench/telemetry_scope.hpp; they take no benchmark args.
 OPT_IN_BENCHES=(truthfulness_audit baseline_comparison)

@@ -1,8 +1,10 @@
 #include "analysis/metrics.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "obs/econ_metrics.hpp"
 
 namespace mcs::analysis {
 
@@ -17,17 +19,15 @@ RoundMetrics compute_metrics(const model::Scenario& scenario,
   metrics.total_payment = outcome.total_payment();
   metrics.total_true_cost = outcome.total_true_cost(scenario);
   metrics.overpayment = metrics.total_payment - metrics.total_true_cost;
+  // Definition 11 sigma and the coverage ratio are single-sourced in
+  // obs/econ_metrics so the live serve plane and econ-report derive the
+  // exact same numbers from the same Money totals.
   metrics.overpayment_ratio =
-      metrics.total_true_cost.is_zero()
-          ? 0.0
-          : metrics.overpayment.ratio_to(metrics.total_true_cost);
+      obs::overpayment_ratio(metrics.total_payment, metrics.total_true_cost);
   metrics.tasks_total = scenario.task_count();
   metrics.tasks_allocated = outcome.allocation.allocated_count();
   metrics.completion_rate =
-      metrics.tasks_total == 0
-          ? 1.0
-          : static_cast<double>(metrics.tasks_allocated) /
-                static_cast<double>(metrics.tasks_total);
+      obs::coverage_rate(metrics.tasks_allocated, metrics.tasks_total);
   Money allocated_value;
   for (int t = 0; t < outcome.allocation.task_count(); ++t) {
     if (outcome.allocation.phone_for(TaskId{t})) {
@@ -35,6 +35,12 @@ RoundMetrics compute_metrics(const model::Scenario& scenario,
     }
   }
   metrics.platform_utility = allocated_value - metrics.total_payment;
+  std::vector<Money> winner_payments;
+  for (const PhoneId winner : outcome.allocation.winners()) {
+    winner_payments.push_back(
+        outcome.payments[static_cast<std::size_t>(winner.value())]);
+  }
+  metrics.payment_fairness = obs::jain_fairness(winner_payments);
   return metrics;
 }
 

@@ -28,6 +28,8 @@ struct RoundMetrics {
   int tasks_allocated{0};
   double completion_rate{0.0};    ///< allocated / total; 1 when no tasks
   Money platform_utility;  ///< allocated * nu - total_payment
+  /// Jain index over the winners' payments; 1 when no winners.
+  double payment_fairness{1.0};
 };
 
 /// Derives all metrics of one round from its outcome.

@@ -39,4 +39,50 @@ RationalityReport audit_individual_rationality(
                                       mechanism.run(scenario, bids));
 }
 
+std::string_view to_string(RoundInvariant invariant) {
+  switch (invariant) {
+    case RoundInvariant::kWinnerUnderpaid:
+      return "winner-underpaid";
+    case RoundInvariant::kLoserPaid:
+      return "loser-paid";
+    case RoundInvariant::kPaymentMismatch:
+      return "payment-mismatch";
+  }
+  return "unknown";
+}
+
+std::vector<InvariantViolation> check_round_invariants(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    const auction::Outcome& outcome,
+    std::optional<Money> expected_total_payment) {
+  std::vector<InvariantViolation> violations;
+  Money total;
+  const int phones = scenario.phone_count();
+  for (int i = 0; i < phones; ++i) {
+    const PhoneId phone{i};
+    const auto index = static_cast<std::size_t>(i);
+    const Money payment =
+        index < outcome.payments.size() ? outcome.payments[index] : Money{};
+    total += payment;
+    if (outcome.allocation.is_winner(phone)) {
+      const Money claimed =
+          index < bids.size() ? bids[index].claimed_cost : Money{};
+      if ((payment - claimed).is_negative()) {
+        violations.push_back(InvariantViolation{
+            RoundInvariant::kWinnerUnderpaid, phone, payment, claimed});
+      }
+    } else if (!payment.is_zero()) {
+      violations.push_back(
+          InvariantViolation{RoundInvariant::kLoserPaid, phone, payment,
+                             Money{}});
+    }
+  }
+  if (expected_total_payment && total != *expected_total_payment) {
+    violations.push_back(InvariantViolation{RoundInvariant::kPaymentMismatch,
+                                            PhoneId{-1}, total,
+                                            *expected_total_payment});
+  }
+  return violations;
+}
+
 }  // namespace mcs::analysis

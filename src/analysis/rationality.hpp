@@ -7,7 +7,9 @@
 // negative utility, plus losers with nonzero payments.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "auction/mechanism.hpp"
@@ -43,5 +45,36 @@ struct RationalityReport {
 [[nodiscard]] RationalityReport check_individual_rationality(
     const model::Scenario& scenario, const model::BidProfile& bids,
     const auction::Outcome& outcome);
+
+// ------------------------------------------- per-round invariant checks
+
+/// A cheap, exact per-round economic invariant the online sentinel (and
+/// any offline audit) verifies on every closed round.
+enum class RoundInvariant {
+  kWinnerUnderpaid,   ///< winner paid below its claimed cost (IR breach)
+  kLoserPaid,         ///< non-winner with a nonzero payment
+  kPaymentMismatch,   ///< streamed payment total != outcome payment total
+};
+
+[[nodiscard]] std::string_view to_string(RoundInvariant invariant);
+
+struct InvariantViolation {
+  RoundInvariant kind{RoundInvariant::kWinnerUnderpaid};
+  PhoneId phone{-1};  ///< -1 when the violation is not phone-specific
+  Money observed;     ///< the offending quantity (payment / total)
+  Money expected;     ///< the bound it broke (claimed cost / 0 / total)
+};
+
+/// Runs the cheap per-round checks against an already-computed outcome.
+/// `bids` must be the profile the outcome was produced from; when
+/// `expected_total_payment` is provided (e.g. the serve engine's
+/// incrementally streamed total) it is reconciled against the outcome's
+/// payment vector. Unlike Outcome::validate this never throws: a broken
+/// mechanism must be *reported*, not crash the caller -- this is the
+/// single-sourced check shared by offline audits and the live sentinel.
+[[nodiscard]] std::vector<InvariantViolation> check_round_invariants(
+    const model::Scenario& scenario, const model::BidProfile& bids,
+    const auction::Outcome& outcome,
+    std::optional<Money> expected_total_payment = std::nullopt);
 
 }  // namespace mcs::analysis

@@ -1,6 +1,7 @@
 #include "auction/critical_value.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "auction/counterfactual.hpp"
 #include "common/assert.hpp"
@@ -132,6 +133,38 @@ std::optional<Money> greedy_critical_value(const CounterfactualEngine& engine,
     return engine.wins_with_cost(phone, cost);
   };
   return bisect_critical_value(wins, upper_bound, 1, phone.value());
+}
+
+PaymentAudit audit_winner_payment(const CounterfactualEngine& engine,
+                                  PhoneId phone, Money paid) {
+  PaymentAudit audit;
+  const auto index = static_cast<std::size_t>(phone.value());
+  MCS_EXPECTS(index < engine.bids().size(),
+              "audit_winner_payment: phone outside the bid profile");
+  const Money claimed = engine.bids()[index].claimed_cost;
+  {
+    const obs::ScopedEventLog suppress_inner(nullptr);
+    if (!engine.wins_with_cost(phone, claimed)) {
+      audit.verdict = PaymentAuditVerdict::kLosesAtClaim;
+      return audit;
+    }
+  }
+  // Winning at `claimed` >= 0 plus monotonicity gives wins(0), so the
+  // bisection's precondition holds.
+  const std::optional<Money> critical = greedy_critical_value(engine, phone);
+  if (!critical) {
+    audit.verdict = PaymentAuditVerdict::kUnboundedSkipped;
+    return audit;
+  }
+  audit.critical = critical;
+  // The bisection reports the first *losing* micro; at a cost tie the
+  // winner still wins at exactly the runner-up's bid, so payment and
+  // bisected threshold legitimately differ by one micro (the same
+  // tolerance payment_equivalence_test pins for Theorem 4).
+  const std::int64_t gap = std::abs(critical->micros() - paid.micros());
+  audit.verdict = gap <= 1 ? PaymentAuditVerdict::kOk
+                           : PaymentAuditVerdict::kPaymentNotCritical;
+  return audit;
 }
 
 }  // namespace mcs::auction

@@ -64,4 +64,36 @@ class CounterfactualEngine;  // auction/counterfactual.hpp
 [[nodiscard]] std::optional<Money> greedy_critical_value(
     const CounterfactualEngine& engine, PhoneId phone);
 
+// ------------------------------------------------- winner-payment audit
+
+/// Verdict of one deep winner probe (the live econ sentinel's sampled
+/// check; also usable by offline truthfulness audits).
+enum class PaymentAuditVerdict {
+  kOk,                 ///< wins at its claim and is paid the critical value
+  kLosesAtClaim,       ///< allocation inconsistency: winner loses when
+                       ///< re-run at its own reported cost
+  kPaymentNotCritical, ///< bounded critical value exists but != payment
+  kUnboundedSkipped,   ///< critical value unbounded (supply scarcity);
+                       ///< the equality check does not apply
+};
+
+struct PaymentAudit {
+  PaymentAuditVerdict verdict{PaymentAuditVerdict::kOk};
+  std::optional<Money> critical;  ///< bounded critical value when found
+
+  [[nodiscard]] bool violated() const {
+    return verdict == PaymentAuditVerdict::kLosesAtClaim ||
+           verdict == PaymentAuditVerdict::kPaymentNotCritical;
+  }
+};
+
+/// Audits one factual winner against Theorem 4's payment characterization:
+/// (a) the phone still wins when re-run at its reported cost, and (b) its
+/// payment `paid` equals the greedy critical value -- within the one-micro
+/// bisection granularity -- when that value is bounded. Probes run on the
+/// shared-prefix engine, so the factual pass is amortized across winners
+/// of the same round.
+[[nodiscard]] PaymentAudit audit_winner_payment(
+    const CounterfactualEngine& engine, PhoneId phone, Money paid);
+
 }  // namespace mcs::auction

@@ -17,15 +17,6 @@ std::string format_number(double value) {
   return buf;
 }
 
-std::string prometheus_name(std::string_view name) {
-  std::string out = "mcs_";
-  out.reserve(name.size() + 4);
-  for (const char ch : name) {
-    out.push_back((ch == '.' || ch == '-') ? '_' : ch);
-  }
-  return out;
-}
-
 void write_histogram_json(io::JsonWriter& json,
                           const MetricsSnapshot::HistogramData& data) {
   json.begin_object();
@@ -51,6 +42,44 @@ void write_histogram_json(io::JsonWriter& json,
 }
 
 }  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  // Exposition-format grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. The fixed
+  // "mcs_" prefix satisfies the first-character rule, so every remaining
+  // byte only needs the tail alphabet; anything else (dots, dashes,
+  // spaces, UTF-8 from user-influenced strings) collapses to '_'.
+  std::string out = "mcs_";
+  out.reserve(name.size() + 4);
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view value) {
+  // Label values admit any UTF-8 but the text format requires escaping
+  // backslash, double-quote, and newline inside the quoted value.
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
 
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry,
                         const TraceCollector* trace,

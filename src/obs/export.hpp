@@ -9,6 +9,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,9 +32,19 @@ void write_metrics_json(
 /// one per bucket ("le=<edge>").
 void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry);
 
-/// Prometheus text exposition format. Metric names are sanitized
-/// ('.' and '-' -> '_') and prefixed "mcs_"; histograms expand to
-/// _bucket/_sum/_count series.
+/// Sanitizes a dotted metric name into a legal Prometheus identifier:
+/// prefixes "mcs_" and maps every byte outside [a-zA-Z0-9_:] to '_'
+/// (exposition-format grammar [a-zA-Z_:][a-zA-Z0-9_:]*). Total: arbitrary
+/// input -- including user-influenced mechanism or shard strings -- always
+/// yields a scrapable name.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escapes a string for use inside a quoted Prometheus label value
+/// (backslash, double-quote, and newline per the text-format spec).
+[[nodiscard]] std::string prometheus_label_value(std::string_view value);
+
+/// Prometheus text exposition format. Metric names are sanitized via
+/// prometheus_name(); histograms expand to _bucket/_sum/_count series.
 void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
 
 /// Human-readable indented span tree:

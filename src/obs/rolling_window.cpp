@@ -57,6 +57,8 @@ std::string_view to_string(HealthState state) {
       return "shedding";
     case HealthState::kStalled:
       return "stalled";
+    case HealthState::kDegradedEconomics:
+      return "degraded-economics";
   }
   return "unknown";
 }

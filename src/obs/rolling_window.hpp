@@ -99,11 +99,17 @@ enum class HealthState {
   kSaturated,  ///< queue watermark dwelling near capacity
   kShedding,   ///< admission control rejecting traffic
   kStalled,    ///< backlogged queue, no forward progress
+  /// The econ sentinel observed an invariant violation (payment below
+  /// claimed cost, payment != critical value, ...). Worst state: a
+  /// mispriced mechanism is a correctness bug, not a load condition, so
+  /// it outranks every systems state and is sticky for the run.
+  kDegradedEconomics,
 };
 
 [[nodiscard]] std::string_view to_string(HealthState state);
 
-/// Severity order for aggregating shard states (stalled worst).
+/// Severity order for aggregating shard states (degraded economics worst,
+/// then stalled).
 [[nodiscard]] HealthState worse(HealthState a, HealthState b);
 
 struct HealthConfig {

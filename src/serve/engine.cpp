@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "serve/econ_telemetry.hpp"
 #include "serve/telemetry.hpp"
 
 namespace mcs::serve {
@@ -123,6 +124,7 @@ ServeEngine::ServeEngine(ServeConfig config)
     config_.live->attach(config_.shards,
                          static_cast<std::int64_t>(config_.queue_capacity));
   }
+  if (config_.econ != nullptr) config_.econ->attach(config_.shards);
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, config_.queue_capacity));
@@ -232,7 +234,9 @@ void ServeEngine::process_event(
                                  std::to_string(event.round) +
                                  ": duplicate round_open");
     }
-    machines.emplace(event.round, RoundMachine(event, config_.greedy));
+    machines.emplace(event.round,
+                     RoundMachine(event, config_.greedy,
+                                  /*capture=*/config_.econ != nullptr));
     if (live != nullptr) open_ns[event.round] = now_ns;
     return;
   }
@@ -251,6 +255,13 @@ void ServeEngine::process_event(
   }
   if (it->second.apply(event)) {
     RoundOutcome outcome = it->second.take_outcome();
+    // Econ sentinel: audit the closed round while its capture is still
+    // alive. The shard registry is installed on this thread, so the one
+    // sanctioned counter (econ.violations) lands in the deterministic
+    // merge like any other shard counter.
+    if (config_.econ != nullptr) {
+      config_.econ->observe_round(shard.index, it->second, outcome);
+    }
     machines.erase(it);
     if (live != nullptr) {
       const auto opened = open_ns.find(event.round);

@@ -48,6 +48,7 @@
 namespace mcs::serve {
 
 class LiveTelemetry;
+class EconTelemetry;
 
 struct ServeConfig {
   /// Worker shards; rounds are hashed across them.
@@ -73,6 +74,13 @@ struct ServeConfig {
   /// engine attaches it at construction and records queue waits, round
   /// latencies, and watermarks into it while serving.
   LiveTelemetry* live = nullptr;
+
+  /// Optional economic plane (non-owning; must outlive the engine). When
+  /// set, round machines run in capture mode and every closed round is
+  /// handed to the plane's sentinel (serve/econ_telemetry.hpp). Apart from
+  /// the deliberate `econ.violations` counter this leaves the
+  /// deterministic plane untouched.
+  EconTelemetry* econ = nullptr;
 
   /// Throws InvalidArgumentError when out of domain.
   void validate() const;

@@ -18,10 +18,13 @@ namespace {
 }  // namespace
 
 RoundMachine::RoundMachine(const ServeEvent& open,
-                           auction::OnlineGreedyConfig config)
+                           auction::OnlineGreedyConfig config, bool capture)
     : round_(open.round),
       clock_(open.num_slots),
-      platform_(open.num_slots, open.round_value, config) {
+      platform_(open.num_slots, open.round_value, config),
+      capture_(capture),
+      num_slots_(open.num_slots),
+      round_value_(open.round_value) {
   if (open.kind != ServeEventKind::kRoundOpen) {
     stream_error(open.round, "round must start with round_open");
   }
@@ -44,6 +47,10 @@ bool RoundMachine::apply(const ServeEvent& event) {
       clock_.expect_now(event.slot);
       platform_.announce_task(event.task, event.task_value);
       ++outcome_.tasks_announced;
+      if (capture_) {
+        captured_tasks_.push_back(
+            model::Task{event.task, event.slot, event.task_value});
+      }
       return false;
 
     case ServeEventKind::kBidSubmitted: {
@@ -58,6 +65,10 @@ bool RoundMachine::apply(const ServeEvent& event) {
       }
       if (index >= agent_bid_.size()) agent_bid_.resize(index + 1, false);
       agent_bid_[index] = true;
+      if (capture_) {
+        if (index >= captured_bids_.size()) captured_bids_.resize(index + 1);
+        captured_bids_[index] = bid_of(event);
+      }
       if (platform_.submit_bid(event.agent, bid_of(event))) {
         ++outcome_.bids_admitted;
       } else {
@@ -109,6 +120,33 @@ bool RoundMachine::apply(const ServeEvent& event) {
 RoundOutcome RoundMachine::take_outcome() {
   MCS_EXPECTS(done_, "take_outcome requires a closed round");
   return std::move(outcome_);
+}
+
+bool RoundMachine::capture_complete() const {
+  if (!capture_ || !done_) return false;
+  for (const std::optional<model::Bid>& bid : captured_bids_) {
+    if (!bid) return false;
+  }
+  return captured_bids_.size() == agent_bid_.size();
+}
+
+CapturedRound RoundMachine::take_captured() {
+  MCS_EXPECTS(capture_complete(),
+              "take_captured requires a closed, fully-captured round");
+  CapturedRound captured;
+  captured.scenario.num_slots = num_slots_;
+  captured.scenario.task_value = round_value_;
+  captured.scenario.tasks = std::move(captured_tasks_);
+  captured.scenario.phones.reserve(captured_bids_.size());
+  captured.bids.reserve(captured_bids_.size());
+  for (std::optional<model::Bid>& bid : captured_bids_) {
+    // Claimed == true: the reconstruction treats reports as ground truth
+    // (the engine has nothing else), so bids equals truthful_bids().
+    captured.scenario.phones.push_back(
+        model::TrueProfile{bid->window, bid->claimed_cost});
+    captured.bids.push_back(*bid);
+  }
+  return captured;
 }
 
 }  // namespace mcs::serve

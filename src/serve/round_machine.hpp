@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "auction/online_greedy.hpp"
 #include "auction/outcome.hpp"
 #include "common/money.hpp"
+#include "model/scenario.hpp"
 #include "platform/platform.hpp"
 #include "serve/clock.hpp"
 #include "serve/event.hpp"
@@ -41,10 +43,22 @@ struct RoundOutcome {
   std::int64_t events_consumed{0};
 };
 
+/// Claimed-cost reconstruction of a completed round: the world as the
+/// phones *reported* it. The live econ plane audits against this (the
+/// engine never sees private costs), under the truthful interpretation
+/// claimed == true that the paper's mechanism incentivizes.
+struct CapturedRound {
+  model::Scenario scenario;  ///< phones carry their reported window/cost
+  model::BidProfile bids;    ///< equals scenario.truthful_bids()
+};
+
 class RoundMachine {
  public:
-  /// Boots the round from its round_open event.
-  RoundMachine(const ServeEvent& open, auction::OnlineGreedyConfig config);
+  /// Boots the round from its round_open event. With `capture` on, the
+  /// machine additionally records tasks and bids so the closed round can
+  /// be reconstructed as a (Scenario, BidProfile) pair for econ auditing.
+  RoundMachine(const ServeEvent& open, auction::OnlineGreedyConfig config,
+               bool capture = false);
 
   [[nodiscard]] std::int64_t round() const { return round_; }
   [[nodiscard]] bool done() const { return done_; }
@@ -56,15 +70,30 @@ class RoundMachine {
   /// The finished round's outcome; requires done(). Moves the result out.
   [[nodiscard]] RoundOutcome take_outcome();
 
+  /// True when capture was on, the round is done, and every dense agent id
+  /// actually bid (a stream may legally skip ids; such rounds cannot be
+  /// reconstructed and the econ plane counts them as skipped).
+  [[nodiscard]] bool capture_complete() const;
+
+  /// The captured round; requires capture_complete(). Moves the data out.
+  /// The returned scenario is *not* pre-validated -- callers audit
+  /// untrusted streams and must catch validation errors themselves.
+  [[nodiscard]] CapturedRound take_captured();
+
  private:
   std::int64_t round_;
   VirtualClock clock_;
   platform::OnlinePlatform platform_;
   bool done_{false};
+  bool capture_{false};
+  Slot::rep_type num_slots_{0};
+  Money round_value_;
 
   std::vector<std::pair<TaskId, platform::AgentId>> assignments_;
   std::vector<std::pair<platform::AgentId, Money>> payments_;
   std::vector<bool> agent_bid_;  ///< index = agent id; true once it bid
+  std::vector<model::Task> captured_tasks_;
+  std::vector<std::optional<model::Bid>> captured_bids_;
   RoundOutcome outcome_;
 };
 

@@ -9,6 +9,7 @@
 #include "io/json.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "serve/econ_telemetry.hpp"
 
 namespace mcs::serve {
 
@@ -237,7 +238,8 @@ void render_live_prometheus(std::ostream& os, const ServeSnapshot& snapshot) {
   gauge("serve.live.window", static_cast<double>(snapshot.window),
         "monotone snapshot window index");
   gauge("serve.live.state", static_cast<double>(snapshot.state),
-        "health severity: 0 healthy, 1 saturated, 2 shedding, 3 stalled");
+        "health severity: 0 healthy, 1 saturated, 2 shedding, 3 stalled, "
+        "4 degraded-economics");
   gauge("serve.live.events_per_sec", snapshot.total.events_per_sec,
         "events processed per second in the last window");
   gauge("serve.live.rounds_per_sec", snapshot.total.rounds_per_sec,
@@ -276,7 +278,12 @@ void render_live_prometheus(std::ostream& os, const ServeSnapshot& snapshot) {
 
 StatsPublisher::StatsPublisher(LiveTelemetry& live, std::ostream& os,
                                std::chrono::milliseconds period)
-    : live_(live), os_(os), period_(period) {
+    : StatsPublisher(live, os, period, nullptr, nullptr) {}
+
+StatsPublisher::StatsPublisher(LiveTelemetry& live, std::ostream& os,
+                               std::chrono::milliseconds period,
+                               EconTelemetry* econ, std::ostream* econ_os)
+    : live_(live), os_(os), period_(period), econ_(econ), econ_os_(econ_os) {
   MCS_EXPECTS(period_.count() > 0, "stats period must be positive");
   thread_ = std::thread([this] {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -306,6 +313,10 @@ void StatsPublisher::stop() {
 void StatsPublisher::publish() {
   write_serve_snapshot(os_, live_.take_snapshot());
   os_.flush();
+  if (econ_ != nullptr && econ_os_ != nullptr) {
+    write_econ_snapshot(*econ_os_, econ_->take_snapshot());
+    econ_os_->flush();
+  }
   written_.fetch_add(1, std::memory_order_relaxed);
 }
 

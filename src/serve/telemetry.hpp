@@ -147,13 +147,20 @@ void write_serve_snapshot(std::ostream& os, const ServeSnapshot& snapshot);
 /// (gauges named serve.live.*; health states as their severity rank).
 void render_live_prometheus(std::ostream& os, const ServeSnapshot& snapshot);
 
+class EconTelemetry;  // serve/econ_telemetry.hpp
+
 /// Background snapshot thread: every `period` it takes a snapshot and
 /// appends one JSONL line to `os`. stop() (and the destructor) publishes
 /// one final tail window so short runs still emit at least one line.
+/// When an EconTelemetry and its stream are supplied, each tick publishes
+/// the econ plane too ("mcs.serve_econ.v1" lines, same cadence).
 class StatsPublisher {
  public:
   StatsPublisher(LiveTelemetry& live, std::ostream& os,
                  std::chrono::milliseconds period);
+  StatsPublisher(LiveTelemetry& live, std::ostream& os,
+                 std::chrono::milliseconds period, EconTelemetry* econ,
+                 std::ostream* econ_os);
   ~StatsPublisher();
   StatsPublisher(const StatsPublisher&) = delete;
   StatsPublisher& operator=(const StatsPublisher&) = delete;
@@ -170,6 +177,8 @@ class StatsPublisher {
   LiveTelemetry& live_;
   std::ostream& os_;
   std::chrono::milliseconds period_;
+  EconTelemetry* econ_{nullptr};     ///< optional second plane (non-owning)
+  std::ostream* econ_os_{nullptr};   ///< destination for econ snapshots
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_{false};

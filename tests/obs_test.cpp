@@ -366,6 +366,41 @@ TEST(Exporters, PrometheusGolden) {
             "mcs_h_sizes_count 3\n");
 }
 
+TEST(Exporters, PrometheusNameSanitizationGolden) {
+  // Exposition-format grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. Arbitrary input
+  // -- dots, dashes, spaces, user-influenced mechanism strings -- must
+  // always come out scrapable.
+  EXPECT_EQ(prometheus_name("serve.econ.shard.0.rounds"),
+            "mcs_serve_econ_shard_0_rounds");
+  EXPECT_EQ(prometheus_name("a-b c/d"), "mcs_a_b_c_d");
+  EXPECT_EQ(prometheus_name("colon:kept_underscore_kept"),
+            "mcs_colon:kept_underscore_kept");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "mcs_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "mcs_");
+  EXPECT_EQ(prometheus_name("na\xc3\xafve"), "mcs_na__ve")
+      << "every non-ASCII byte maps to _";
+}
+
+TEST(Exporters, PrometheusLabelValueEscapingGolden) {
+  EXPECT_EQ(prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_value("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(prometheus_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Exporters, PrometheusRenderingSanitizesHostileMetricNames) {
+  // A name carrying every class of illegal byte still renders as a legal,
+  // stable exposition line.
+  MetricsRegistry registry;
+  registry.counter("serve.econ.shard-0/weird name").add(2);
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  EXPECT_EQ(out.str(),
+            "# TYPE mcs_serve_econ_shard_0_weird_name counter\n"
+            "mcs_serve_econ_shard_0_weird_name 2\n");
+}
+
 TEST(MetricsRegistry, FirstNonEmptyHelpWins) {
   MetricsRegistry registry;
   registry.counter("c");                   // no help yet

@@ -25,8 +25,10 @@
 #include <vector>
 
 #include <fstream>
+#include <sstream>
 
 #include "analysis/bench_diff.hpp"
+#include "analysis/econ_report.hpp"
 #include "analysis/flight.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report_json.hpp"
@@ -43,6 +45,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/econ_telemetry.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/replay.hpp"
@@ -129,6 +132,10 @@ Subcommands:
   explain    narrate one phone's round from a recorded decision log
   serve      streaming auction engine: sharded event-driven rounds fed by
              the seeded load generator or a recorded mcs.serve.v1 stream
+             (--econ-out turns on the live economic plane + sentinel)
+  econ-report economic leaderboard: batch-simulate mechanisms into a
+             markdown welfare/overpayment table, or summarize a live
+             mcs.serve_econ.v1 snapshot stream (--from)
   bench-diff compare two bench telemetry reports: exact on deterministic
              work counters, p50/p95/p99 ratios on duration histograms;
              exit 1 on regression
@@ -517,6 +524,18 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_double("target-eps", 0.0,
                  "open-loop pacing: offered events/sec (0 = as fast as "
                  "possible; loadgen only)");
+  cli.add_string("econ-out", "",
+                 "stream live mcs.serve_econ.v1 snapshots (JSONL); enables "
+                 "the economic telemetry plane + invariant sentinel");
+  cli.add_string("econ-prom", "",
+                 "write the final econ snapshot as Prometheus text");
+  cli.add_string("econ-events", "",
+                 "record sentinel econ_violation events (JSONL, "
+                 "mcs.events.v1)");
+  cli.add_int("econ-probe-every", 16,
+              "deep-probe 1-in-N rounds through the counterfactual engine "
+              "(0 = cheap invariants only)");
+  cli.add_int("econ-probe-seed", 0, "seed of the deep-probe round sampler");
   if (!cli.parse(argc, argv)) return 0;
 
   serve::ServeConfig config;
@@ -567,6 +586,36 @@ int cmd_serve(int argc, const char* const* argv) {
     config.live = live.get();
   }
 
+  // Any econ flag turns on the economic plane (off by default: capture
+  // mode and per-round audits are paid only when asked for).
+  const std::string econ_path = cli.get_string("econ-out");
+  const std::string econ_prom_path = cli.get_string("econ-prom");
+  const std::string econ_events_path = cli.get_string("econ-events");
+  std::ofstream econ_events_file;
+  std::unique_ptr<obs::JsonlEventSink> econ_events_sink;
+  std::unique_ptr<obs::EventLog> econ_events_log;
+  std::unique_ptr<serve::EconTelemetry> econ;
+  if (!econ_path.empty() || !econ_prom_path.empty() ||
+      !econ_events_path.empty()) {
+    serve::EconTelemetryConfig econ_config;
+    econ_config.greedy = config.greedy;
+    econ_config.probe_every = cli.get_int("econ-probe-every");
+    econ_config.probe_seed =
+        static_cast<std::uint64_t>(cli.get_int("econ-probe-seed"));
+    if (!econ_events_path.empty()) {
+      econ_events_file.open(econ_events_path);
+      if (!econ_events_file) {
+        throw IoError("cannot open econ events file: " + econ_events_path);
+      }
+      econ_events_sink =
+          std::make_unique<obs::JsonlEventSink>(econ_events_file);
+      econ_events_log = std::make_unique<obs::EventLog>(econ_events_sink.get());
+      econ_config.events = econ_events_log.get();
+    }
+    econ = std::make_unique<serve::EconTelemetry>(econ_config);
+    config.econ = econ.get();
+  }
+
   CliTelemetry telemetry(cli.get_string("metrics-out"),
                          cli.get_switch("trace"),
                          cli.get_string("trace-out"));
@@ -582,13 +631,19 @@ int cmd_serve(int argc, const char* const* argv) {
     serve::ServeEngine engine(config);
 
     std::ofstream stats_file;
+    std::ofstream econ_file;
+    if (!econ_path.empty()) {
+      econ_file.open(econ_path);
+      if (!econ_file) throw IoError("cannot open econ file: " + econ_path);
+    }
     std::unique_ptr<serve::StatsPublisher> publisher;
     if (!stats_path.empty()) {
       stats_file.open(stats_path);
       if (!stats_file) throw IoError("cannot open stats file: " + stats_path);
       publisher = std::make_unique<serve::StatsPublisher>(
           *live, stats_file,
-          std::chrono::milliseconds(cli.get_int("stats-period-ms")));
+          std::chrono::milliseconds(cli.get_int("stats-period-ms")),
+          econ.get(), econ_file.is_open() ? &econ_file : nullptr);
     }
 
     if (use_loadgen) {
@@ -627,11 +682,23 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     engine.drain();
     if (publisher) publisher->stop();  // flushes the final tail snapshot
+    if (econ_file.is_open() && !publisher) {
+      // No publisher thread to emit the tail; write one snapshot so even a
+      // stats-less run produces a non-empty econ stream.
+      serve::write_econ_snapshot(econ_file, econ->take_snapshot());
+    }
     if (!prom_path.empty()) {
       std::ofstream prom_file(prom_path);
       if (!prom_file) throw IoError("cannot open stats file: " + prom_path);
       const serve::ServeSnapshot tail = live->take_snapshot();
       serve::render_live_prometheus(prom_file, tail);
+    }
+    if (!econ_prom_path.empty()) {
+      std::ofstream prom_file(econ_prom_path);
+      if (!prom_file) {
+        throw IoError("cannot open econ stats file: " + econ_prom_path);
+      }
+      serve::render_econ_prometheus(prom_file, econ->take_snapshot());
     }
     outcomes = engine.take_outcomes();
     stats = engine.stats();
@@ -686,6 +753,13 @@ int cmd_serve(int argc, const char* const* argv) {
               << summary.queue_high_watermark << '\n';
   }
 
+  if (econ) {
+    const std::int64_t violations = econ->violations();
+    std::cout << "econ: "
+              << obs::to_string(obs::classify_econ_health(violations))
+              << ", " << violations << " sentinel violation(s)\n";
+  }
+
   if (cli.get_switch("verify")) {
     const serve::VerifyReport report =
         serve::verify_against_batch(load, outcomes, config.greedy);
@@ -697,6 +771,87 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     std::cout << "verify: all " << report.rounds_checked
               << " rounds byte-identical to the batch mechanism\n";
+  }
+  return 0;
+}
+
+int cmd_econ_report(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Economic leaderboard. Batch mode (default): run a set of mechanisms "
+      "over seeded loadgen rounds with truthful bids and render a markdown "
+      "welfare/payment/overpayment table (the Fig. 9-11 numbers, computed "
+      "through the same analysis::compute_metrics as the offline audits). "
+      "Stream mode (--from): summarize an mcs.serve_econ.v1 JSONL snapshot "
+      "stream written by 'serve --econ-out'.");
+  cli.add_string("from", "",
+                 "summarize an mcs.serve_econ.v1 snapshot stream instead of "
+                 "simulating");
+  cli.add_string("mechanisms", "online,offline,second-price",
+                 "comma-separated list: online | offline | second-price | "
+                 "batched");
+  cli.add_int("rounds", 16, "rounds to simulate per mechanism");
+  cli.add_int("slots", 20, "loadgen: slots per round (m)");
+  cli.add_double("lambda", 4.0, "loadgen: smartphone arrival rate per slot");
+  cli.add_double("lambda-t", 2.0, "loadgen: task arrival rate per slot");
+  cli.add_int("seed", 42, "loadgen: base RNG seed (round k forks stream k)");
+  cli.add_double("reserve", 0.0, "online reserve price (0 = none)");
+  cli.add_switch("profitable-only", "skip bids above the task value");
+  cli.add_int("batch", 5, "batch size for the batched mechanism");
+  cli.add_string("out", "", "also write the markdown to a file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::string rendered;
+  const std::string from_path = cli.get_string("from");
+  if (!from_path.empty()) {
+    std::ifstream stream(from_path);
+    if (!stream) throw IoError("cannot open econ stream: " + from_path);
+    const analysis::EconStreamSummary summary =
+        analysis::summarize_econ_stream(stream);
+    std::ostringstream os;
+    analysis::render_econ_stream(os, summary);
+    rendered = os.str();
+  } else {
+    serve::LoadGenConfig load;
+    load.rounds = cli.get_int("rounds");
+    load.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    load.workload.num_slots =
+        static_cast<Slot::rep_type>(cli.get_int("slots"));
+    load.workload.phone_arrival_rate = cli.get_double("lambda");
+    load.workload.task_arrival_rate = cli.get_double("lambda-t");
+    const analysis::ScenarioGenerator generator =
+        [&load](std::int64_t round) {
+          return serve::loadgen_scenario(load, round);
+        };
+
+    std::vector<analysis::MechanismEconSummary> summaries;
+    std::string names = cli.get_string("mechanisms");
+    std::istringstream split(names);
+    for (std::string name; std::getline(split, name, ',');) {
+      if (name.empty()) continue;
+      analysis::RunSpec spec;
+      spec.mechanism = name;
+      spec.reserve = cli.get_double("reserve");
+      spec.profitable_only = cli.get_switch("profitable-only");
+      spec.batch = cli.get_int("batch");
+      const std::unique_ptr<auction::Mechanism> mechanism =
+          analysis::make_mechanism(spec);
+      summaries.push_back(analysis::summarize_mechanism(
+          *mechanism, generator, cli.get_int("rounds")));
+    }
+    if (summaries.empty()) {
+      throw InvalidArgumentError("econ-report: no mechanisms selected");
+    }
+    std::ostringstream os;
+    analysis::render_econ_leaderboard(os, std::move(summaries));
+    rendered = os.str();
+  }
+
+  std::cout << rendered;
+  if (const std::string out = cli.get_string("out"); !out.empty()) {
+    std::ofstream file(out);
+    if (!file) throw IoError("cannot open output file: " + out);
+    file << rendered;
+    std::cout << "report written to " << out << '\n';
   }
   return 0;
 }
@@ -741,6 +896,9 @@ int main(int argc, char** argv) {
     if (subcommand == "replay") return cmd_replay(argc - 1, argv + 1);
     if (subcommand == "explain") return cmd_explain(argc - 1, argv + 1);
     if (subcommand == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (subcommand == "econ-report") {
+      return cmd_econ_report(argc - 1, argv + 1);
+    }
     if (subcommand == "bench-diff") return cmd_bench_diff(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
       print_usage();
