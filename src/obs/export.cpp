@@ -250,6 +250,78 @@ void write_chrome_trace(std::ostream& os, const TraceCollector& trace,
   write_chrome_trace(os, trace.spans(), meta);
 }
 
+void write_chrome_trace_events(
+    std::ostream& os, const std::vector<ChromeLane>& lanes,
+    const std::vector<ChromeEvent>& events,
+    const std::map<std::string, std::string>& meta) {
+  io::JsonWriter json(os);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  json.begin_object();
+  json.field("name", "process_name");
+  json.field("ph", "M");
+  json.field("pid", std::int64_t{1});
+  json.field("tid", std::int64_t{1});
+  json.key("args").begin_object();
+  json.field("name", "mcs");
+  json.end_object();
+  json.end_object();
+  for (const ChromeLane& lane : lanes) {
+    json.begin_object();
+    json.field("name", "thread_name");
+    json.field("ph", "M");
+    json.field("pid", lane.pid);
+    json.field("tid", lane.tid);
+    json.key("args").begin_object();
+    json.field("name", lane.name);
+    json.end_object();
+    json.end_object();
+  }
+  for (const ChromeEvent& event : events) {
+    json.begin_object();
+    json.field("name", event.name);
+    json.field("cat", "mcs");
+    json.field("ph", "X");
+    json.field("ts", event.ts_us);
+    json.field("dur", event.dur_us);
+    json.field("pid", event.pid);
+    json.field("tid", event.tid);
+    json.end_object();
+    if (event.flow_out >= 0) {
+      json.begin_object();
+      json.field("name", "round");
+      json.field("cat", "mcs");
+      json.field("ph", "s");
+      json.field("id", event.flow_out);
+      json.field("ts", event.ts_us + event.dur_us);
+      json.field("pid", event.pid);
+      json.field("tid", event.tid);
+      json.end_object();
+    }
+    if (event.flow_in >= 0) {
+      json.begin_object();
+      json.field("name", "round");
+      json.field("cat", "mcs");
+      json.field("ph", "f");
+      json.field("bp", "e");
+      json.field("id", event.flow_in);
+      json.field("ts", event.ts_us);
+      json.field("pid", event.pid);
+      json.field("tid", event.tid);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  if (!meta.empty()) {
+    json.key("otherData").begin_object();
+    for (const auto& [key, value] : meta) json.field(key, value);
+    json.end_object();
+  }
+  json.end_object();
+  os << '\n';
+}
+
 void render_trace_text(std::ostream& os, const TraceCollector& trace) {
   for (const SpanRecord& span : trace.spans()) {
     for (int i = 0; i < span.depth; ++i) os << "  ";

@@ -65,4 +65,38 @@ void write_chrome_trace(std::ostream& os,
 void write_chrome_trace(std::ostream& os, const TraceCollector& trace,
                         const std::map<std::string, std::string>& meta = {});
 
+/// One complete ("X") event of a multi-lane Chrome trace, with explicit
+/// pid/tid lane placement and optional flow linkage. A non-negative
+/// flow_out emits a flow-start ("s") record at the span's end; a
+/// non-negative flow_in emits a flow-finish ("f", bp "e") record at the
+/// span's start -- Perfetto draws an arrow between the two spans carrying
+/// the same flow id (we use the round id, so a round's producer-side
+/// queue span links to its shard-worker timeline).
+struct ChromeEvent {
+  std::string name;
+  std::int64_t pid{1};
+  std::int64_t tid{1};
+  std::int64_t ts_us{0};
+  std::int64_t dur_us{0};
+  std::int64_t flow_out{-1};
+  std::int64_t flow_in{-1};
+};
+
+/// Display name of one pid/tid lane (rendered as a thread_name "M"
+/// metadata record, so shards get labelled tracks).
+struct ChromeLane {
+  std::int64_t pid{1};
+  std::int64_t tid{1};
+  std::string name;
+};
+
+/// Multi-lane Chrome Trace Event Format: thread_name metadata for each
+/// lane, then the events in the order given (callers sort for
+/// determinism), with flow records interleaved after their spans. The
+/// single-lane SpanRecord overload above is untouched and byte-stable.
+void write_chrome_trace_events(
+    std::ostream& os, const std::vector<ChromeLane>& lanes,
+    const std::vector<ChromeEvent>& events,
+    const std::map<std::string, std::string>& meta = {});
+
 }  // namespace mcs::obs

@@ -85,12 +85,12 @@ void EconTelemetry::report_violation(int shard, std::int64_t round,
   }
 }
 
-void EconTelemetry::observe_round(int shard, RoundMachine& machine,
-                                  const RoundOutcome& result) {
+std::int64_t EconTelemetry::observe_round(int shard, RoundMachine& machine,
+                                          const RoundOutcome& result) {
   ShardSlot& slot = *slots_[static_cast<std::size_t>(shard)];
   if (!machine.capture_complete()) {
     slot.rounds_skipped.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return 0;
   }
   CapturedRound captured = machine.take_captured();
 
@@ -125,7 +125,7 @@ void EconTelemetry::observe_round(int shard, RoundMachine& machine,
       // Untrusted stream produced an unreconstructable round; skipped, not
       // a mechanism violation.
       slot.rounds_skipped.fetch_add(1, std::memory_order_relaxed);
-      return;
+      return 0;
     }
 
     // Cheap exact invariants, every round. Non-throwing by design.
@@ -241,6 +241,7 @@ void EconTelemetry::observe_round(int shard, RoundMachine& machine,
     slot.overpayment.record_ns(
         obs::ratio_to_sketch_units(metrics.overpayment_ratio));
   }
+  return static_cast<std::int64_t>(violations.size());
 }
 
 obs::EconCumulative EconTelemetry::sample_shard(ShardSlot& slot,

@@ -128,9 +128,11 @@ class EconTelemetry {
   /// captured reconstruction, `result` the materialized outcome. Never
   /// throws on malformed rounds -- they are counted as skipped.
   /// Registry-plane effect: exactly one "econ.violations" count per
-  /// violation found, nothing else.
-  void observe_round(int shard, RoundMachine& machine,
-                     const RoundOutcome& result);
+  /// violation found, nothing else. Returns the number of violations this
+  /// round tripped (0 for clean or skipped rounds) -- the trace plane's
+  /// tail sampler retains every round with a non-zero verdict.
+  std::int64_t observe_round(int shard, RoundMachine& machine,
+                             const RoundOutcome& result);
 
   /// Rolls one econ window per shard and aggregates. Serialized
   /// internally against concurrent publishers.

@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "serve/econ_telemetry.hpp"
 #include "serve/telemetry.hpp"
+#include "serve/trace_plane.hpp"
 
 namespace mcs::serve {
 
@@ -125,6 +126,7 @@ ServeEngine::ServeEngine(ServeConfig config)
                          static_cast<std::int64_t>(config_.queue_capacity));
   }
   if (config_.econ != nullptr) config_.econ->attach(config_.shards);
+  if (config_.trace != nullptr) config_.trace->attach(config_.shards);
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, config_.queue_capacity));
@@ -147,6 +149,12 @@ ServeEngine::~ServeEngine() {
   }
 }
 
+std::uint64_t ServeEngine::stamp_ns() {
+  if (config_.live != nullptr) return config_.live->now_ns();
+  if (config_.trace != nullptr) return config_.trace->now_ns();
+  return 0;
+}
+
 SubmitStatus ServeEngine::submit(const ServeEvent& event) {
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::kRejectedStopped;
@@ -154,7 +162,7 @@ SubmitStatus ServeEngine::submit(const ServeEvent& event) {
   LiveTelemetry* const live = config_.live;
   const int shard_index = shard_of_round(event.round, config_.shards);
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
-  const Queued item{event, live != nullptr ? live->now_ns() : 0};
+  const Queued item{event, stamp_ns()};
   const std::int64_t depth =
       config_.admission == ServeConfig::Admission::kBlock
           ? shard.queue.push_block(item)
@@ -181,6 +189,7 @@ void ServeEngine::worker_main(Shard& shard) {
   const obs::TraceSpan span("serve.shard");
 
   LiveTelemetry* const live = config_.live;
+  TracePlane* const trace = config_.trace;
   std::unordered_map<std::int64_t, RoundMachine> machines;
   std::unordered_map<std::int64_t, std::uint64_t> open_ns;  // live plane
   while (std::optional<Popped> popped = shard.queue.pop()) {
@@ -191,14 +200,26 @@ void ServeEngine::worker_main(Shard& shard) {
                        now >= popped->enqueue_ns ? now - popped->enqueue_ns
                                                  : 0,
                        popped->depth_left);
+    } else if (trace != nullptr) {
+      now = trace->now_ns();
+    }
+    if (trace != nullptr) {
+      trace->on_event(shard.index,
+                      now >= popped->enqueue_ns ? now - popped->enqueue_ns : 0,
+                      popped->event.client_lag_ns);
     }
     if (!shard.error.empty()) continue;  // poisoned: drain without work
     try {
-      process_event(shard, machines, open_ns, popped->event, now);
+      process_event(shard, machines, open_ns, popped->event, now,
+                    popped->enqueue_ns);
     } catch (const Error& e) {
       if (config_.admission == ServeConfig::Admission::kReject) {
         // Shedding already made the stream lossy; a hole in one round's
         // event sequence drops that round, not the whole engine.
+        if (trace != nullptr) {
+          trace->on_round_corrupted(shard.index, popped->event.round,
+                                    stamp_ns());
+        }
         machines.erase(popped->event.round);
         open_ns.erase(popped->event.round);
         ++shard.stats.rounds_corrupted;
@@ -208,6 +229,7 @@ void ServeEngine::worker_main(Shard& shard) {
       }
     }
   }
+  if (trace != nullptr) trace->on_worker_exit(shard.index, stamp_ns());
   shard.stats.rounds_abandoned +=
       static_cast<std::int64_t>(machines.size());
   if (!machines.empty()) {
@@ -223,10 +245,11 @@ void ServeEngine::worker_main(Shard& shard) {
 void ServeEngine::process_event(
     Shard& shard, std::unordered_map<std::int64_t, RoundMachine>& machines,
     std::unordered_map<std::int64_t, std::uint64_t>& open_ns,
-    const ServeEvent& event, std::uint64_t now_ns) {
+    const ServeEvent& event, std::uint64_t now_ns, std::uint64_t enqueue_ns) {
   ++shard.stats.processed;
   obs::count(event_counter_name(event.kind));
   LiveTelemetry* const live = config_.live;
+  TracePlane* const trace = config_.trace;
 
   if (event.kind == ServeEventKind::kRoundOpen) {
     if (machines.contains(event.round)) {
@@ -238,6 +261,10 @@ void ServeEngine::process_event(
                      RoundMachine(event, config_.greedy,
                                   /*capture=*/config_.econ != nullptr));
     if (live != nullptr) open_ns[event.round] = now_ns;
+    if (trace != nullptr) {
+      trace->on_round_open(shard.index, event.round, enqueue_ns, now_ns,
+                           event.client_lag_ns);
+    }
     return;
   }
 
@@ -247,20 +274,32 @@ void ServeEngine::process_event(
       // The round's open (or the whole round) was shed; drop silently.
       ++shard.stats.orphaned_events;
       obs::count("serve.events.orphaned");
+      if (trace != nullptr) {
+        trace->on_orphaned_event(shard.index, event.round, now_ns);
+      }
       return;
     }
     throw InvalidArgumentError(
         "serve stream, round " + std::to_string(event.round) + ": " +
         std::string(to_string(event.kind)) + " for a round never opened");
   }
-  if (it->second.apply(event)) {
+  const bool done = it->second.apply(event);
+  if (trace != nullptr && event.kind == ServeEventKind::kSlotTick) {
+    trace->on_slot_tick(shard.index, event.round,
+                        static_cast<std::int32_t>(event.slot.value()), now_ns,
+                        stamp_ns());
+  }
+  if (done) {
     RoundOutcome outcome = it->second.take_outcome();
     // Econ sentinel: audit the closed round while its capture is still
     // alive. The shard registry is installed on this thread, so the one
     // sanctioned counter (econ.violations) lands in the deterministic
     // merge like any other shard counter.
+    const std::uint64_t settled_ns = trace != nullptr ? stamp_ns() : 0;
+    std::int64_t violations = 0;
     if (config_.econ != nullptr) {
-      config_.econ->observe_round(shard.index, it->second, outcome);
+      violations = config_.econ->observe_round(shard.index, it->second,
+                                               outcome);
     }
     machines.erase(it);
     if (live != nullptr) {
@@ -271,6 +310,10 @@ void ServeEngine::process_event(
             now_ns >= opened->second ? now_ns - opened->second : 0);
         open_ns.erase(opened);
       }
+    }
+    if (trace != nullptr) {
+      trace->on_round_complete(shard.index, event.round, now_ns, settled_ns,
+                               stamp_ns(), violations);
     }
     ++shard.stats.rounds_completed;
     shard.stats.tasks_announced += outcome.tasks_announced;

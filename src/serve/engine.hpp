@@ -49,6 +49,7 @@ namespace mcs::serve {
 
 class LiveTelemetry;
 class EconTelemetry;
+class TracePlane;
 
 struct ServeConfig {
   /// Worker shards; rounds are hashed across them.
@@ -81,6 +82,14 @@ struct ServeConfig {
   /// the deliberate `econ.violations` counter this leaves the
   /// deterministic plane untouched.
   EconTelemetry* econ = nullptr;
+
+  /// Optional causal tracing plane (non-owning; must outlive the engine).
+  /// When set, every round gets a bounded span timeline and the
+  /// tail-based sampler decides at round_close what to retain
+  /// (serve/trace_plane.hpp). Same quarantine discipline as `live`: no
+  /// registry counter is ever written, so the deterministic merge is
+  /// bit-identical trace-on vs trace-off.
+  TracePlane* trace = nullptr;
 
   /// Throws InvalidArgumentError when out of domain.
   void validate() const;
@@ -150,8 +159,8 @@ class ServeEngine {
   [[nodiscard]] const ServeStats& stats() const;
 
  private:
-  /// One queued event plus its live-plane enqueue stamp (0 when the
-  /// wall-clock plane is off -- the clock is never read then).
+  /// One queued event plus its wall-clock enqueue stamp (0 when both the
+  /// live and trace planes are off -- the clock is never read then).
   struct Queued {
     ServeEvent event;
     std::uint64_t enqueue_ns{0};
@@ -209,7 +218,11 @@ class ServeEngine {
   void process_event(Shard& shard,
                      std::unordered_map<std::int64_t, RoundMachine>& machines,
                      std::unordered_map<std::int64_t, std::uint64_t>& open_ns,
-                     const ServeEvent& event, std::uint64_t now_ns);
+                     const ServeEvent& event, std::uint64_t now_ns,
+                     std::uint64_t enqueue_ns);
+  /// Wall-clock uptime stamp for the optional planes (live preferred so
+  /// both planes share one timebase per run); 0 when both are off.
+  std::uint64_t stamp_ns();
 
   ServeConfig config_;
   obs::MetricsRegistry* parent_registry_;  ///< merge target; may be null

@@ -72,6 +72,13 @@ struct ServeEvent {
   SlotInterval window{SlotInterval::of(1, 1)};  ///< reported [a~, d~]
   Money claimed_cost;
 
+  /// Client-side schedule lag at send time (how far behind its intended
+  /// paced deadline the producer was), stamped by run_paced_load so the
+  /// trace plane can render ingest lag as its own span. In-memory only:
+  /// the mcs.serve.v1 codec neither encodes nor decodes it (the wire
+  /// format is unchanged; decoded events carry 0).
+  std::uint64_t client_lag_ns{0};
+
   friend bool operator==(const ServeEvent&, const ServeEvent&) = default;
 };
 

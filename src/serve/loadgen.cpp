@@ -95,13 +95,19 @@ PaceReport run_paced_load(
       sleep_ns(deadline - now);
       now = clock.now_ns();
     }
+    // The schedule lag travels with the event (client_lag_ns) so the
+    // trace plane can draw client-side lateness as a distinct ingest
+    // span; a lag is a duration, so it is valid across clock domains
+    // (the pace clock and the planes' uptime clocks differ in epoch).
+    ServeEvent stamped = event;
     if (now > deadline) {
       const std::uint64_t lag = now - deadline;
       report.max_lag_ns = std::max(report.max_lag_ns, lag);
       if (static_cast<double>(lag) > gap_ns) ++report.late_events;
+      stamped.client_lag_ns = lag;
     }
     ++report.offered;
-    if (submit(event)) {
+    if (submit(stamped)) {
       ++report.accepted;
     } else {
       ++report.shed;

@@ -82,7 +82,10 @@ struct PaceReport {
 
 /// Streams the whole load through `submit` at the paced schedule.
 /// `submit` reports whether the event was accepted (admission control
-/// shedding returns false); either way the schedule marches on.
+/// shedding returns false); either way the schedule marches on. Events
+/// sent behind schedule carry their lag in ServeEvent::client_lag_ns, so
+/// a downstream trace plane renders client-side lateness as its own
+/// ingest span.
 PaceReport run_paced_load(
     const LoadGenConfig& config, const PaceConfig& pace,
     const std::function<bool(const ServeEvent&)>& submit);

@@ -33,6 +33,7 @@
 #include "analysis/metrics.hpp"
 #include "analysis/report_json.hpp"
 #include "analysis/rationality.hpp"
+#include "analysis/trace_report.hpp"
 #include "analysis/truthfulness.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -50,6 +51,7 @@
 #include "serve/loadgen.hpp"
 #include "serve/replay.hpp"
 #include "serve/telemetry.hpp"
+#include "serve/trace_plane.hpp"
 #include "serve/verify.hpp"
 #include "sim/experiments.hpp"
 #include "sim/html_report.hpp"
@@ -136,6 +138,9 @@ Subcommands:
   econ-report economic leaderboard: batch-simulate mechanisms into a
              markdown welfare/overpayment table, or summarize a live
              mcs.serve_econ.v1 snapshot stream (--from)
+  trace-report digest an mcs.trace.v1 round-trace stream (serve
+             --trace-jsonl) into per-phase p50/p99 and the slowest
+             retained rounds as ASCII span waterfalls
   bench-diff compare two bench telemetry reports: exact on deterministic
              work counters, p50/p95/p99 ratios on duration histograms;
              exit 1 on regression
@@ -536,6 +541,17 @@ int cmd_serve(int argc, const char* const* argv) {
               "deep-probe 1-in-N rounds through the counterfactual engine "
               "(0 = cheap invariants only)");
   cli.add_int("econ-probe-seed", 0, "seed of the deep-probe round sampler");
+  cli.add_string("trace-jsonl", "",
+                 "write retained per-round traces as mcs.trace.v1 JSONL; "
+                 "enables the causal trace plane (tail-based sampling)");
+  cli.add_string("trace-chrome", "",
+                 "write retained per-round traces in Chrome Trace Event "
+                 "Format (one lane per shard, flow events across lanes)");
+  cli.add_int("trace-threshold-us", 0,
+              "retain every round slower than this many microseconds "
+              "(0 = auto: track the rolling per-shard p99)");
+  cli.add_int("trace-capacity", 256,
+              "per-shard retained-trace ring capacity");
   if (!cli.parse(argc, argv)) return 0;
 
   serve::ServeConfig config;
@@ -614,6 +630,23 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     econ = std::make_unique<serve::EconTelemetry>(econ_config);
     config.econ = econ.get();
+  }
+
+  // Any trace flag turns on the causal trace plane. Like the live plane it
+  // is quarantined from the deterministic counters: trace-on and trace-off
+  // runs produce bit-identical registry state.
+  const std::string trace_jsonl_path = cli.get_string("trace-jsonl");
+  const std::string trace_chrome_path = cli.get_string("trace-chrome");
+  std::unique_ptr<serve::TracePlane> trace_plane;
+  if (!trace_jsonl_path.empty() || !trace_chrome_path.empty()) {
+    serve::TracePlaneConfig trace_config;
+    trace_config.ring_capacity =
+        static_cast<std::size_t>(cli.get_int("trace-capacity"));
+    trace_config.slow_threshold_ns =
+        static_cast<std::uint64_t>(cli.get_int("trace-threshold-us")) *
+        1000ULL;
+    trace_plane = std::make_unique<serve::TracePlane>(trace_config);
+    config.trace = trace_plane.get();
   }
 
   CliTelemetry telemetry(cli.get_string("metrics-out"),
@@ -700,6 +733,22 @@ int cmd_serve(int argc, const char* const* argv) {
       }
       serve::render_econ_prometheus(prom_file, econ->take_snapshot());
     }
+    if (trace_plane) {
+      if (!trace_jsonl_path.empty()) {
+        std::ofstream trace_file(trace_jsonl_path);
+        if (!trace_file) {
+          throw IoError("cannot open trace stream file: " + trace_jsonl_path);
+        }
+        serve::write_trace_stream(trace_file, *trace_plane);
+      }
+      if (!trace_chrome_path.empty()) {
+        std::ofstream trace_file(trace_chrome_path);
+        if (!trace_file) {
+          throw IoError("cannot open trace chrome file: " + trace_chrome_path);
+        }
+        serve::write_trace_chrome(trace_file, *trace_plane);
+      }
+    }
     outcomes = engine.take_outcomes();
     stats = engine.stats();
   }
@@ -758,6 +807,23 @@ int cmd_serve(int argc, const char* const* argv) {
     std::cout << "econ: "
               << obs::to_string(obs::classify_econ_health(violations))
               << ", " << violations << " sentinel violation(s)\n";
+  }
+
+  if (trace_plane) {
+    const serve::TraceSummary trace_summary = trace_plane->summary();
+    std::cout << "trace: " << trace_summary.rounds_traced
+              << " rounds traced, " << trace_summary.retained << " retained ("
+              << trace_summary.retained_slow << " slow, "
+              << trace_summary.retained_econ << " econ, "
+              << trace_summary.retained_error << " error), "
+              << trace_summary.dropped << " folded into summary, threshold ";
+    if (trace_summary.slow_threshold_ns == ~0ULL) {
+      std::cout << "not warmed up";
+    } else {
+      std::cout << static_cast<double>(trace_summary.slow_threshold_ns) / 1e3
+                << " us";
+    }
+    std::cout << '\n';
   }
 
   if (cli.get_switch("verify")) {
@@ -856,6 +922,31 @@ int cmd_econ_report(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_trace_report(int argc, const char* const* argv) {
+  std::vector<const char*> rest;
+  const std::string positional = take_leading_positional(argc, argv, rest);
+  io::CliParser cli(
+      "Digests an mcs.trace.v1 round-trace stream (written by 'serve "
+      "--trace-jsonl') into per-phase p50/p99 latency, the slowest retained "
+      "rounds rendered as ASCII span waterfalls, and sketch exemplars.");
+  cli.add_string("from", positional, "mcs.trace.v1 JSONL stream to digest");
+  cli.add_int("top", 5, "slowest retained rounds to render");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string path = cli.get_string("from");
+  if (path.empty()) {
+    throw InvalidArgumentError(
+        "usage: mcs_cli trace-report <trace.jsonl> [--top N]");
+  }
+  std::ifstream stream(path);
+  if (!stream) throw IoError("cannot open trace stream: " + path);
+  const analysis::TraceStreamSummary summary =
+      analysis::summarize_trace_stream(stream);
+  analysis::render_trace_report(std::cout, summary,
+                                static_cast<int>(cli.get_int("top")));
+  return 0;
+}
+
 int cmd_explain(int argc, const char* const* argv) {
   std::vector<const char*> rest;
   const std::string positional = take_leading_positional(argc, argv, rest);
@@ -898,6 +989,9 @@ int main(int argc, char** argv) {
     if (subcommand == "serve") return cmd_serve(argc - 1, argv + 1);
     if (subcommand == "econ-report") {
       return cmd_econ_report(argc - 1, argv + 1);
+    }
+    if (subcommand == "trace-report") {
+      return cmd_trace_report(argc - 1, argv + 1);
     }
     if (subcommand == "bench-diff") return cmd_bench_diff(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
