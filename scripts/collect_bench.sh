@@ -61,8 +61,8 @@ fi
 # Every bench the committed baseline covers must be present: a silently
 # skipped binary would make the merged report lose keys and bench-diff
 # would read the hole as "this bench was deleted", not "the build broke".
-EXPECTED_GBENCHES=(perf_econ perf_matching perf_mechanisms perf_payments
-                   perf_serve perf_serve_latency perf_trace)
+EXPECTED_GBENCHES=(perf_arena perf_econ perf_matching perf_mechanisms
+                   perf_payments perf_serve perf_serve_latency perf_trace)
 for expected in "${EXPECTED_GBENCHES[@]}"; do
   found=0
   for bench in "${GBENCHES[@]}"; do

@@ -1,25 +1,15 @@
 #include "analysis/econ_report.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <string>
 
+#include "analysis/report_format.hpp"
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "io/json_parse.hpp"
 #include "obs/econ_metrics.hpp"
 
 namespace mcs::analysis {
-
-namespace {
-
-std::string format_ratio(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.4f", value);
-  return buf;
-}
-
-}  // namespace
 
 MechanismEconSummary summarize_mechanism(const auction::Mechanism& mechanism,
                                          const ScenarioGenerator& generator,

@@ -1,0 +1,23 @@
+// Shared numeric formatting for the markdown leaderboards.
+//
+// Every leaderboard this repo renders (econ-report, the arena) formats
+// derived ratios identically -- fixed %.4f via snprintf, locale-free --
+// so reports are byte-stable across runs, threads, and platforms, and a
+// diff between two leaderboards is a diff between their numbers, never
+// their formatting. Money fields never pass through here: they render
+// exact via Money::to_string.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mcs::analysis {
+
+/// Fixed four-decimal rendering of a dimensionless ratio.
+[[nodiscard]] inline std::string format_ratio(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", value);
+  return buf;
+}
+
+}  // namespace mcs::analysis

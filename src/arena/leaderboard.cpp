@@ -1,0 +1,159 @@
+#include "arena/leaderboard.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analysis/report_format.hpp"
+#include "io/json.hpp"
+
+namespace mcs::arena {
+
+namespace {
+
+using analysis::format_ratio;
+
+void write_policy(io::JsonWriter& json,
+                  const CellResult::PolicySummary& policy) {
+  json.begin_object()
+      .field("policy", policy.policy)
+      .field("weight", policy.weight)
+      .field("agents", policy.agents)
+      .field("winners", policy.winners)
+      .field("utility", policy.utility.to_string())
+      .field("mean_utility", policy.mean_utility)
+      .field("probes", policy.probes)
+      .field("mean_deviation_gain", policy.mean_deviation_gain)
+      .field("max_deviation_gain", policy.max_deviation_gain.to_string())
+      .end_object();
+}
+
+void write_cell(io::JsonWriter& json, const CellResult& cell) {
+  json.begin_object()
+      .field("mechanism", cell.mechanism)
+      .field("mix", cell.mix)
+      .field("mix_detail", cell.mix_detail)
+      .field("rounds", cell.rounds)
+      .field("social_welfare", cell.social_welfare.to_string())
+      .field("total_payment", cell.total_payment.to_string())
+      .field("total_true_cost", cell.total_true_cost.to_string())
+      .field("vcg_payment", cell.vcg_payment.to_string())
+      .field("overpayment_ratio", cell.overpayment_ratio)
+      .field("payment_vs_vcg", cell.payment_vs_vcg)
+      .field("tasks_total", cell.tasks_total)
+      .field("tasks_allocated", cell.tasks_allocated)
+      .field("coverage", cell.coverage)
+      .field("mean_fairness", cell.mean_fairness)
+      .key("policies")
+      .begin_array();
+  for (const CellResult::PolicySummary& policy : cell.policies) {
+    write_policy(json, policy);
+  }
+  json.end_array().end_object();
+}
+
+/// Leaderboard order: welfare descending, ties by mechanism then mix name
+/// (matching render_econ_leaderboard's discipline).
+std::vector<const CellResult*> ranked(const ArenaResult& result) {
+  std::vector<const CellResult*> cells;
+  cells.reserve(result.cells.size());
+  for (const CellResult& cell : result.cells) cells.push_back(&cell);
+  std::sort(cells.begin(), cells.end(),
+            [](const CellResult* a, const CellResult* b) {
+              if (a->social_welfare != b->social_welfare) {
+                return a->social_welfare > b->social_welfare;
+              }
+              if (a->mechanism != b->mechanism) {
+                return a->mechanism < b->mechanism;
+              }
+              return a->mix < b->mix;
+            });
+  return cells;
+}
+
+}  // namespace
+
+void write_arena_json(std::ostream& os, const ArenaResult& result) {
+  io::JsonWriter json(os);
+  json.begin_object()
+      .field("schema", "mcs.arena.v1")
+      .field("seed", static_cast<std::int64_t>(result.seed))
+      .field("rounds", result.rounds)
+      .field("probes_per_policy", result.probes_per_policy)
+      .key("workload")
+      .begin_object()
+      .field("num_slots", static_cast<std::int64_t>(result.workload.num_slots))
+      .field("phone_arrival_rate", result.workload.phone_arrival_rate)
+      .field("task_arrival_rate", result.workload.task_arrival_rate)
+      .field("mean_cost", result.workload.mean_cost)
+      .field("mean_active_length", result.workload.mean_active_length)
+      .field("task_value", result.workload.task_value.to_string())
+      .field("cost_distribution",
+             model::to_string(result.workload.cost_distribution))
+      .end_object()
+      .field("vcg_reference_payment", result.vcg_reference_payment.to_string())
+      .key("cells")
+      .begin_array();
+  for (const CellResult& cell : result.cells) write_cell(json, cell);
+  json.end_array().end_object();
+  os << '\n';
+}
+
+void render_arena_markdown(std::ostream& os, const ArenaResult& result) {
+  os << "# arena leaderboard\n\n"
+     << "- seed: " << result.seed << ", rounds: " << result.rounds
+     << ", deviation probes per (round, policy): "
+     << result.probes_per_policy << "\n"
+     << "- workload: " << result.workload.num_slots << " slots, lambda "
+     << format_ratio(result.workload.phone_arrival_rate) << ", lambda_t "
+     << format_ratio(result.workload.task_arrival_rate) << ", mean cost "
+     << format_ratio(result.workload.mean_cost) << ", value "
+     << result.workload.task_value.to_string() << "\n"
+     << "- offline VCG reference payment (truthful bids): "
+     << result.vcg_reference_payment.to_string() << "\n\n"
+     << "| rank | mechanism | mix | welfare | payment | vs VCG | sigma "
+        "| coverage | fairness | max dev gain |\n"
+     << "|---:|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  int rank = 0;
+  const std::vector<const CellResult*> cells = ranked(result);
+  for (const CellResult* cell : cells) {
+    Money max_gain;
+    bool any_probe = false;
+    for (const CellResult::PolicySummary& policy : cell->policies) {
+      if (policy.probes == 0) continue;
+      max_gain = any_probe ? std::max(max_gain, policy.max_deviation_gain)
+                           : policy.max_deviation_gain;
+      any_probe = true;
+    }
+    os << "| " << ++rank << " | " << cell->mechanism << " | " << cell->mix
+       << " | " << cell->social_welfare.to_string() << " | "
+       << cell->total_payment.to_string() << " | "
+       << format_ratio(cell->payment_vs_vcg) << " | "
+       << format_ratio(cell->overpayment_ratio) << " | "
+       << format_ratio(cell->coverage) << " | "
+       << format_ratio(cell->mean_fairness) << " | "
+       << (any_probe ? max_gain.to_string() : std::string("n/a")) << " |\n";
+  }
+
+  os << "\n## per-policy detail\n\n"
+     << "| mechanism | mix | policy | weight | agents | winners "
+        "| mean utility | probes | mean dev gain | max dev gain |\n"
+     << "|---|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const CellResult* cell : cells) {
+    for (const CellResult::PolicySummary& policy : cell->policies) {
+      os << "| " << cell->mechanism << " | " << cell->mix << " | "
+         << policy.policy << " | " << format_ratio(policy.weight) << " | "
+         << policy.agents << " | " << policy.winners << " | "
+         << format_ratio(policy.mean_utility) << " | " << policy.probes
+         << " | ";
+      if (policy.probes > 0) {
+        os << format_ratio(policy.mean_deviation_gain) << " | "
+           << policy.max_deviation_gain.to_string();
+      } else {
+        os << "n/a | n/a";
+      }
+      os << " |\n";
+    }
+  }
+}
+
+}  // namespace mcs::arena

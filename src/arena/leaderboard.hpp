@@ -1,0 +1,25 @@
+// Arena leaderboard rendering: mcs.arena.v1 JSON + markdown.
+//
+// Both renderings are a pure function of an ArenaResult, which is itself
+// byte-deterministic across runs and thread counts -- so regenerating a
+// leaderboard and diffing it against a committed one is a meaningful CI
+// gate. The markdown follows the econ-report leaderboard's shape (ranked
+// table sorted by social welfare descending, ties by name; ratios in the
+// shared %.4f format) and appends a per-policy detail table carrying the
+// incentive-to-deviate columns the truthfulness invariants read.
+#pragma once
+
+#include <iosfwd>
+
+#include "arena/arena.hpp"
+
+namespace mcs::arena {
+
+/// Versioned machine-readable leaderboard (single JSON object, one
+/// trailing newline). Money travels as exact decimal strings.
+void write_arena_json(std::ostream& os, const ArenaResult& result);
+
+/// Human-readable markdown leaderboard + per-policy detail.
+void render_arena_markdown(std::ostream& os, const ArenaResult& result);
+
+}  // namespace mcs::arena

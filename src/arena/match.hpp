@@ -1,0 +1,131 @@
+// Per-cell round evaluation: one (mechanism x policy mix) match.
+//
+// A cell of the arena leaderboard is one mechanism defending against one
+// policy mix over many seeded rounds. Each round draws the shared
+// model::round_scenario stream, assigns policies by the mix's pure hash,
+// collects pass-1 reports (plus the adaptive respond pass when the mix
+// needs one), runs the mechanism, and measures:
+//
+//  * platform economics -- welfare, payment, true cost, coverage, Jain
+//    fairness -- through the same analysis::compute_metrics the offline
+//    audits use;
+//  * per-policy agent economics -- mean utility, win counts;
+//  * incentive-to-deviate -- for sampled agents, the utility of the bid
+//    their policy submitted minus the utility of the truthful bid, with
+//    every other bid frozen at the cell's final profile. For strategic
+//    agents that is the *realized* gain versus their truthful twin (same
+//    seed, one extra mechanism run); for truthful agents it is the
+//    *prospective* best gain over a canonical deviation set
+//    (shade(1.5), delay(2)), so a truthful mechanism must keep it <= 0
+//    within the one-micro critical-value granularity while the
+//    second-price baseline shows Fig. 5-style positive gains.
+//
+// All per-round quantities are exact (int64 micros); doubles appear only
+// in derived per-round ratios folded in fixed round order, so cell
+// summaries are bit-identical however rounds are scheduled across threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arena/population.hpp"
+#include "auction/mechanism.hpp"
+#include "auction/online_greedy.hpp"
+#include "model/workload.hpp"
+
+namespace mcs::arena {
+
+/// Shared knobs of one arena run (everything but the mechanism/mix grid).
+struct MatchConfig {
+  model::WorkloadConfig workload;
+  std::uint64_t seed{42};
+  /// Deviation probes per (round, policy): agents sampled by pure hash.
+  /// 0 disables the incentive-to-deviate column.
+  std::int64_t probes_per_policy{4};
+  /// Greedy configuration the best-responder's critical-value probes use
+  /// (and the online-greedy cell, when the caller builds it to match).
+  auction::OnlineGreedyConfig greedy;
+};
+
+/// Exact per-policy tallies of one round.
+struct PolicyRoundStats {
+  std::int64_t agents{0};
+  std::int64_t winners{0};
+  std::int64_t utility_micros{0};   ///< sum of payment - true cost
+  std::int64_t probes{0};
+  std::int64_t gain_micros{0};      ///< sum of deviation deltas
+  std::int64_t max_gain_micros{0};  ///< max delta; 0 when probes == 0
+};
+
+/// Exact tallies of one (cell, round) evaluation.
+struct RoundCellStats {
+  std::int64_t welfare_micros{0};
+  std::int64_t payment_micros{0};
+  std::int64_t true_cost_micros{0};
+  std::int64_t tasks_total{0};
+  std::int64_t tasks_allocated{0};
+  double fairness{1.0};  ///< per-round Jain index over winners' payments
+  std::vector<PolicyRoundStats> policies;  ///< parallel to mix.entries()
+};
+
+/// Leaderboard row: one cell folded over all rounds.
+struct CellResult {
+  std::string mechanism;
+  std::string mix;
+  std::string mix_detail;  ///< PolicyMix::describe()
+  std::int64_t rounds{0};
+  Money social_welfare;
+  Money total_payment;
+  Money total_true_cost;
+  Money vcg_payment;  ///< offline-VCG-on-truthful reference, same rounds
+  double overpayment_ratio{0.0};  ///< sigma over summed totals
+  double payment_vs_vcg{0.0};     ///< total_payment / vcg_payment; 0 if no ref
+  std::int64_t tasks_total{0};
+  std::int64_t tasks_allocated{0};
+  double coverage{1.0};
+  double mean_fairness{1.0};  ///< mean of per-round Jain indexes
+
+  struct PolicySummary {
+    std::string policy;
+    double weight{1.0};
+    std::int64_t agents{0};
+    std::int64_t winners{0};
+    Money utility;             ///< exact summed utility
+    double mean_utility{0.0};  ///< utility / agents (money units)
+    std::int64_t probes{0};
+    double mean_deviation_gain{0.0};  ///< gain sum / probes (money units)
+    Money max_deviation_gain;         ///< largest single-agent delta
+  };
+  std::vector<PolicySummary> policies;
+};
+
+/// Builds the final bid profile of one round under `mix`: hash assignment,
+/// pass-1 reports in phone order from a per-round forked stream, then the
+/// respond pass for adaptive entries. `assignment_out` (optional) receives
+/// each phone's policy index.
+[[nodiscard]] model::BidProfile build_round_bids(
+    const MatchConfig& config, const PolicyMix& mix,
+    const model::Scenario& scenario, std::int64_t round,
+    std::vector<std::size_t>* assignment_out = nullptr);
+
+/// Evaluates one (mechanism, mix, round) cell-round. Pure given its
+/// arguments; safe to call concurrently from worker threads.
+[[nodiscard]] RoundCellStats evaluate_round(const MatchConfig& config,
+                                            const auction::Mechanism& mechanism,
+                                            const PolicyMix& mix,
+                                            std::int64_t round);
+
+/// Offline-VCG total payment on the round's *truthful* bids -- the
+/// clairvoyant reference every cell's payment_vs_vcg is measured against.
+[[nodiscard]] std::int64_t vcg_reference_micros(const MatchConfig& config,
+                                                std::int64_t round);
+
+/// Folds per-round stats (must be in round order: double accumulation
+/// order is part of the determinism contract) into one leaderboard row.
+[[nodiscard]] CellResult fold_cell(const std::string& mechanism_name,
+                                   const PolicyMix& mix,
+                                   const std::vector<RoundCellStats>& rounds,
+                                   std::int64_t vcg_total_micros);
+
+}  // namespace mcs::arena

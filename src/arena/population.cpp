@@ -1,0 +1,144 @@
+#include "arena/population.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mcs::arena {
+
+namespace {
+
+double parse_weight(std::string_view spec, std::string_view text) {
+  double weight{};
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, weight);
+  if (ec != std::errc{} || ptr != end || !(weight > 0.0) ||
+      !std::isfinite(weight)) {
+    throw InvalidArgumentError("policy weight must be a finite number > 0: " +
+                               std::string(spec));
+  }
+  return weight;
+}
+
+/// Splits on `sep` at depth 0 (commas inside "shade(1,5)"-style parens are
+/// kept -- parameters never contain commas today, but the guard keeps the
+/// grammar extensible).
+std::vector<std::string_view> split_top_level(std::string_view text,
+                                              char sep) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') --depth;
+    if (text[i] == sep && depth == 0) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+/// 53-bit uniform in [0, 1) from a pure hash chain of the identifiers.
+double assignment_draw(std::uint64_t assignment_seed, std::int64_t round,
+                       PhoneId phone) {
+  SplitMix64 hash(assignment_seed);
+  SplitMix64 mixed(hash.next() ^
+                   SplitMix64(static_cast<std::uint64_t>(round)).next());
+  constexpr std::uint64_t kPhoneSalt = 0x51;
+  SplitMix64 final_hash(
+      mixed.next() ^
+      SplitMix64(static_cast<std::uint64_t>(phone.value()) + kPhoneSalt)
+          .next());
+  return static_cast<double>(final_hash.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+PolicyMix::PolicyMix(std::string name, std::vector<Entry> entries)
+    : name_(std::move(name)), entries_(std::move(entries)) {
+  MCS_EXPECTS(!entries_.empty(), "a policy mix needs at least one entry");
+  double total = 0.0;
+  for (const Entry& entry : entries_) {
+    MCS_EXPECTS(entry.policy != nullptr, "policy mix entry without a policy");
+    MCS_EXPECTS(entry.weight > 0.0 && std::isfinite(entry.weight),
+                "policy mix weights must be finite and > 0");
+    total += entry.weight;
+  }
+  cumulative_.reserve(entries_.size());
+  double acc = 0.0;
+  for (const Entry& entry : entries_) {
+    acc += entry.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against accumulated rounding
+}
+
+PolicyMix PolicyMix::parse(std::string_view spec) {
+  std::string_view body = spec;
+  std::string name(spec);
+  // An '=' at depth 0 separates the display name from the entry list. Look
+  // only before the first '(' so "shade(1.5)" alone never misparses.
+  const std::size_t eq = spec.find('=');
+  if (eq != std::string_view::npos && eq < spec.find('(')) {
+    name = std::string(spec.substr(0, eq));
+    body = spec.substr(eq + 1);
+  }
+  if (name.empty() || body.empty()) {
+    throw InvalidArgumentError("empty policy mix spec: " + std::string(spec));
+  }
+  std::vector<Entry> entries;
+  for (const std::string_view part : split_top_level(body, ',')) {
+    if (part.empty()) {
+      throw InvalidArgumentError("empty entry in policy mix: " +
+                                 std::string(spec));
+    }
+    // The weight is the suffix after the last depth-0 ':'.
+    std::string_view policy_spec = part;
+    double weight = 1.0;
+    int depth = 0;
+    std::size_t colon = std::string_view::npos;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      if (part[i] == '(') ++depth;
+      if (part[i] == ')') --depth;
+      if (part[i] == ':' && depth == 0) colon = i;
+    }
+    if (colon != std::string_view::npos) {
+      policy_spec = part.substr(0, colon);
+      weight = parse_weight(spec, part.substr(colon + 1));
+    }
+    entries.push_back(Entry{make_policy(policy_spec), weight});
+  }
+  return PolicyMix(std::move(name), std::move(entries));
+}
+
+bool PolicyMix::has_adaptive() const {
+  for (const Entry& entry : entries_) {
+    if (entry.policy->adaptive()) return true;
+  }
+  return false;
+}
+
+std::size_t PolicyMix::assign(std::uint64_t assignment_seed,
+                              std::int64_t round, PhoneId phone) const {
+  const double draw = assignment_draw(assignment_seed, round, phone);
+  for (std::size_t i = 0; i + 1 < cumulative_.size(); ++i) {
+    if (draw < cumulative_[i]) return i;
+  }
+  return entries_.size() - 1;
+}
+
+std::string PolicyMix::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << entries_[i].policy->name() << ':' << entries_[i].weight;
+  }
+  return os.str();
+}
+
+}  // namespace mcs::arena

@@ -1,0 +1,65 @@
+// Policy mixes and deterministic population assignment.
+//
+// A PolicyMix is a weighted catalog of bidder policies ("75% truthful, 25%
+// shade(1.5)"). Each arena round draws a fresh scenario, and every phone in
+// it is assigned one policy of the mix by a pure hash of
+// (assignment seed, round, phone): the same phone of the same round gets
+// the same policy in every cell of the leaderboard, whichever mechanism is
+// being attacked and however many worker threads run the cells. That
+// phone-level alignment is what makes cross-mechanism comparisons of the
+// same mix an apples-to-apples read.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arena/policy.hpp"
+
+namespace mcs::arena {
+
+/// A named, weighted population of bidder policies.
+class PolicyMix {
+ public:
+  struct Entry {
+    std::unique_ptr<BidderPolicy> policy;
+    double weight{1.0};
+  };
+
+  PolicyMix(std::string name, std::vector<Entry> entries);
+
+  /// Parses "name=policy:weight,policy:weight,..." (weights optional,
+  /// default 1; name optional -- defaults to the spec itself). Examples:
+  ///   "truthful"
+  ///   "shaded=truthful:3,shade(1.5):1"
+  ///   "fig5=truthful:1,delay(2):1"
+  /// Throws InvalidArgumentError on unknown policies or bad weights.
+  [[nodiscard]] static PolicyMix parse(std::string_view spec);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// True when any entry's policy is adaptive (needs the respond pass).
+  [[nodiscard]] bool has_adaptive() const;
+
+  /// Index of the policy governing `phone` in `round`: a pure function of
+  /// the arguments -- no generator state -- so assignment is identical
+  /// across mechanisms, threads, and runs. Weights are respected in
+  /// proportion (cumulative split of a 53-bit uniform draw).
+  [[nodiscard]] std::size_t assign(std::uint64_t assignment_seed,
+                                   std::int64_t round, PhoneId phone) const;
+
+  /// Canonical "policy:weight,..." rendering (stable across runs; used in
+  /// leaderboard JSON so a report names the mix it measured).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::vector<double> cumulative_;  ///< normalized cumulative weights
+};
+
+}  // namespace mcs::arena

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "auction/critical_value.hpp"
 #include "common/assert.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -211,6 +212,19 @@ bool CounterfactualEngine::wins_with_cost(PhoneId phone, Money cost) const {
   }
   count_fork("auction.counterfactual.probe_forks", last - fork + 1, fork - 1);
   return false;
+}
+
+CounterfactualEngine::CriticalValueProbe CounterfactualEngine::
+    critical_value_of(PhoneId phone) const {
+  CriticalValueProbe probe;
+  {
+    // A probe is bookkeeping, not a decision of any recorded run.
+    const obs::ScopedEventLog suppress_inner(nullptr);
+    probe.winnable = wins_with_cost(phone, Money{});
+  }
+  if (!probe.winnable) return probe;
+  probe.critical = greedy_critical_value(*this, phone);
+  return probe;
 }
 
 }  // namespace mcs::auction

@@ -110,6 +110,25 @@ class CounterfactualEngine {
   /// the full allocation on with_bid(bids, phone, {window, cost}).
   [[nodiscard]] bool wins_with_cost(PhoneId phone, Money cost) const;
 
+  /// Result of a public critical-value probe (critical_value_of).
+  struct CriticalValueProbe {
+    /// Whether the phone wins at claimed cost 0 (all other bids fixed).
+    /// When false there is no winning claim at all and `critical` is empty.
+    bool winnable{false};
+    /// Bounded critical claimed cost when one exists; empty when the phone
+    /// is unwinnable, or wins at every probed cost (supply scarcity).
+    std::optional<Money> critical;
+  };
+
+  /// Read-only critical-value probe of `phone` under the greedy rule with
+  /// everyone else's reported bids fixed -- the seam the flight recorder's
+  /// explain path uses, exposed so strategic-agent code (the arena's
+  /// best-responder) can ask "what is the highest claim that still wins?"
+  /// without duplicating the bisection. Delegates to
+  /// greedy_critical_value(*this, phone) after screening out unwinnable
+  /// phones (which the bisection preconditions away). Thread-safe.
+  [[nodiscard]] CriticalValueProbe critical_value_of(PhoneId phone) const;
+
   /// Last slot covered by the checkpoints (the factual pass's horizon).
   [[nodiscard]] Slot::rep_type horizon() const {
     return static_cast<Slot::rep_type>(checkpoints_.slots.size()) - 1;

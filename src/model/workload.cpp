@@ -145,4 +145,10 @@ Scenario generate_scenario(const WorkloadConfig& config, Rng& rng) {
   return scenario;
 }
 
+Scenario round_scenario(const WorkloadConfig& config, std::uint64_t seed,
+                        std::int64_t round) {
+  Rng rng = Rng(seed).fork(static_cast<std::uint64_t>(round));
+  return generate_scenario(config, rng);
+}
+
 }  // namespace mcs::model

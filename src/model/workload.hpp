@@ -61,4 +61,12 @@ struct WorkloadConfig {
 /// rng state).
 [[nodiscard]] Scenario generate_scenario(const WorkloadConfig& config, Rng& rng);
 
+/// Round `round` of the seeded workload stream: draws from the independent
+/// child stream Rng(seed).fork(round), so round k is reproducible without
+/// replaying rounds 0..k-1. This is the single fork discipline every
+/// multi-round driver (sim repetitions, serve loadgen, the arena) shares;
+/// two drivers with the same (config, seed, round) see the same scenario.
+[[nodiscard]] Scenario round_scenario(const WorkloadConfig& config,
+                                      std::uint64_t seed, std::int64_t round);
+
 }  // namespace mcs::model

@@ -12,10 +12,10 @@ namespace mcs::serve {
 
 model::Scenario loadgen_scenario(const LoadGenConfig& config,
                                  std::int64_t round) {
-  // fork() makes (seed, round) an independent deterministic stream, so
-  // round k's scenario is reproducible without replaying rounds 0..k-1.
-  Rng rng = Rng(config.seed).fork(static_cast<std::uint64_t>(round));
-  return model::generate_scenario(config.workload, rng);
+  // The shared (seed, round) fork discipline: round k's scenario is
+  // reproducible without replaying rounds 0..k-1, and any driver with the
+  // same (workload, seed) sees the same stream.
+  return model::round_scenario(config.workload, config.seed, round);
 }
 
 std::vector<ServeEvent> round_events(std::int64_t round,

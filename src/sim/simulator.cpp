@@ -10,7 +10,6 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
-#include "common/rng.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -53,7 +52,7 @@ SimulationResult make_result_shell(
 /// stream, run every mechanism, accumulate into `result`.
 void run_repetition(const SimulationConfig& config,
                     const std::vector<const auction::Mechanism*>& mechanisms,
-                    const Rng& parent, int rep, SimulationResult& result) {
+                    int rep, SimulationResult& result) {
   const obs::ScopedTimer rep_timer("sim.repetition_duration_us");
   obs::count("sim.repetitions");
   // Event sampling: keep the decision log for every n-th repetition,
@@ -71,9 +70,10 @@ void run_repetition(const SimulationConfig& config,
       return event;
     });
   }
-  Rng rng = parent.fork(static_cast<std::uint64_t>(rep));
+  // The shared (seed, rep) fork discipline of model::round_scenario keeps
+  // repetition k reproducible and independent of execution order.
   const model::Scenario scenario =
-      model::generate_scenario(config.workload, rng);
+      model::round_scenario(config.workload, config.base_seed, rep);
   const model::BidProfile bids = scenario.truthful_bids();
   result.phones_per_round.add(static_cast<double>(scenario.phone_count()));
   result.tasks_per_round.add(static_cast<double>(scenario.task_count()));
@@ -126,9 +126,8 @@ SimulationResult simulate(
   check_inputs(config, mechanisms);
   const obs::TraceSpan span("sim.simulate");
   SimulationResult result = make_result_shell(mechanisms);
-  const Rng parent(config.base_seed);
   for (int rep = 0; rep < config.repetitions; ++rep) {
-    run_repetition(config, mechanisms, parent, rep, result);
+    run_repetition(config, mechanisms, rep, result);
     MCS_LOG_DEBUG("simulate: repetition " << rep << " done");
   }
   return result;
@@ -146,7 +145,6 @@ SimulationResult simulate_parallel(
   if (threads == 1) return simulate(config, mechanisms);
 
   const obs::TraceSpan span("sim.simulate_parallel");
-  const Rng parent(config.base_seed);
   std::vector<SimulationResult> partials(
       static_cast<std::size_t>(threads));
   for (auto& partial : partials) partial = make_result_shell(mechanisms);
@@ -169,7 +167,7 @@ SimulationResult simulate_parallel(
         telemetry.emplace(&worker_metrics[static_cast<std::size_t>(w)]);
       }
       for (int rep = w; rep < config.repetitions; rep += threads) {
-        run_repetition(config, mechanisms, parent, rep,
+        run_repetition(config, mechanisms, rep,
                        partials[static_cast<std::size_t>(w)]);
       }
     });

@@ -110,6 +110,62 @@ TEST(SecondPrice, UniformPriceWithMultipleTasksPerSlot) {
   EXPECT_EQ(outcome.payments[2], Money{});
 }
 
+TEST(SecondPrice, EqualBidsTieBreakByPhoneId) {
+  // Two phones claim the same cost for one task: the allocation tie goes
+  // to the lower id (the fixed order Algorithm 1 requires), and the winner
+  // is paid the runner-up's -- equal -- claim, so the tie is paid fairly.
+  const model::Scenario s = model::ScenarioBuilder(1)
+                                .value(20)
+                                .phone(1, 1, 7)
+                                .phone(1, 1, 7)
+                                .task(1)
+                                .build();
+  const Outcome outcome = SecondPriceBaseline{}.run_truthful(s);
+  EXPECT_TRUE(outcome.allocation.is_winner(PhoneId{0}));
+  EXPECT_FALSE(outcome.allocation.is_winner(PhoneId{1}));
+  EXPECT_EQ(outcome.payments[0], mu(7));
+  EXPECT_EQ(outcome.payments[1], Money{});
+}
+
+TEST(SecondPrice, EqualBidsAcrossSlotsWinInIdOrder) {
+  // Three equal claims, two single-task slots, distinct windows: slot 1
+  // takes the lowest id available there, slot 2 the next. The phone whose
+  // window closed without a win gets nothing.
+  const model::Scenario s = model::ScenarioBuilder(2)
+                                .value(20)
+                                .phone(1, 2, 5)
+                                .phone(1, 1, 5)  // slot 1 only
+                                .phone(2, 2, 5)
+                                .task(1)
+                                .task(2)
+                                .build();
+  const Outcome outcome = SecondPriceBaseline{}.run_truthful(s);
+  // Slot 1: phones {0, 1} tie at 5 -> phone 0 wins, runner-up pays 5.
+  EXPECT_TRUE(outcome.allocation.is_winner(PhoneId{0}));
+  EXPECT_EQ(outcome.payments[0], mu(5));
+  // Slot 2: phones {1 gone, 2} -> phone 2 wins; no loser left in the
+  // pool, so the kOwnBid default pays its own claim.
+  EXPECT_FALSE(outcome.allocation.is_winner(PhoneId{1}));
+  EXPECT_TRUE(outcome.allocation.is_winner(PhoneId{2}));
+  EXPECT_EQ(outcome.payments[2], mu(5));
+}
+
+TEST(SecondPrice, EmptySlotLeavesItsTaskUnserved) {
+  // A task arrives in a slot where no phone is active: it goes unserved
+  // and the outcome stays structurally valid (no payment materializes).
+  const model::Scenario s = model::ScenarioBuilder(3)
+                                .value(20)
+                                .phone(3, 3, 4)
+                                .task(1)  // nobody active in slot 1
+                                .task(3)
+                                .build();
+  const Outcome outcome = SecondPriceBaseline{}.run_truthful(s);
+  outcome.validate(s, s.truthful_bids());
+  EXPECT_EQ(outcome.allocation.winners().size(), 1u);
+  EXPECT_TRUE(outcome.allocation.is_winner(PhoneId{0}));
+  EXPECT_EQ(outcome.total_payment(), outcome.payments[0]);
+}
+
 TEST(SecondPrice, ManipulableSystematicallyAcrossRandomInstances) {
   // Fig. 5 is not a fluke of the worked example: over randomized windowed
   // instances the audit keeps finding profitable misreports against the

@@ -237,6 +237,45 @@ TEST(PaymentEquivalence, FastPaymentsEqualBisectedCriticalValues) {
   }
 }
 
+TEST(PaymentEquivalence, PublicCriticalValueProbeMatchesTheBisection) {
+  // critical_value_of is the read-only seam strategic-agent code uses: it
+  // must agree with greedy_critical_value on winnable phones, classify
+  // unwinnable phones instead of tripping the bisection's precondition,
+  // and bracket the win/lose boundary it reports.
+  Rng rng(4242);
+  int winnable = 0;
+  int unwinnable = 0;
+  for (int i = 0; i < 25; ++i) {
+    const Scenario scenario = test_support::windowed(rng);
+    const model::BidProfile bids = scenario.truthful_bids();
+    const OnlineGreedyConfig config;
+    const CounterfactualEngine engine(scenario, bids, config);
+    for (int p = 0; p < scenario.phone_count(); ++p) {
+      const PhoneId phone{p};
+      const auto probe = engine.critical_value_of(phone);
+      EXPECT_EQ(probe.winnable, engine.wins_with_cost(phone, Money{}))
+          << "scenario#" << i << " phone " << p;
+      if (!probe.winnable) {
+        ++unwinnable;
+        EXPECT_FALSE(probe.critical.has_value());
+        continue;
+      }
+      ++winnable;
+      EXPECT_EQ(probe.critical, greedy_critical_value(engine, phone))
+          << "scenario#" << i << " phone " << p;
+      if (probe.critical.has_value()) {
+        // One micro below the threshold wins; at the threshold loses.
+        EXPECT_TRUE(engine.wins_with_cost(
+            phone, Money::from_micros(probe.critical->micros() - 1)));
+        EXPECT_FALSE(engine.wins_with_cost(phone, *probe.critical));
+      }
+    }
+  }
+  EXPECT_GT(winnable, 0);
+  EXPECT_GT(unwinnable, 0) << "windowed instances should produce some "
+                              "phones that cannot win at any claim";
+}
+
 // ------------------------------------------- parallel fan-out determinism
 
 TEST(PaymentEquivalence, ParallelPaymentsAreDeterministicAcrossThreadCounts) {

@@ -29,6 +29,8 @@
 
 #include "analysis/bench_diff.hpp"
 #include "analysis/econ_report.hpp"
+#include "arena/arena.hpp"
+#include "arena/leaderboard.hpp"
 #include "analysis/flight.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report_json.hpp"
@@ -119,8 +121,8 @@ class CliTelemetry {
   std::optional<obs::ScopedTrace> trace_guard_;
 };
 
-void print_usage() {
-  std::cout <<
+void print_usage(std::ostream& os) {
+  os <<
       R"(mcs_cli -- truthful crowdsourcing auctions (ICDCS 2014 reproduction)
 
 Subcommands:
@@ -144,8 +146,14 @@ Subcommands:
   bench-diff compare two bench telemetry reports: exact on deterministic
              work counters, p50/p95/p99 ratios on duration histograms;
              exit 1 on regression
+  arena      strategic-agent arena: populations of bidder policies
+             (truthful, cost-shading, arrival-delaying, best-responding)
+             attack each mechanism over seeded rounds; emits a
+             deterministic mcs.arena.v1 leaderboard with per-policy
+             incentive-to-deviate scores
 
-Run 'mcs_cli <subcommand> --help' for the flags of each subcommand.
+Run 'mcs_cli <subcommand> --help' (or 'mcs_cli help <subcommand>') for the
+flags of each subcommand.
 )";
 }
 
@@ -970,37 +978,142 @@ int cmd_explain(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_arena(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Strategic-agent arena: assigns a population of bidder policies to "
+      "every phone of seeded workload rounds and pits each (mechanism x "
+      "policy mix) cell over the same round stream. Reports welfare, "
+      "payment vs the offline-VCG-on-truthful reference, overpayment "
+      "sigma, Jain fairness, per-policy mean utility, and an "
+      "incentive-to-deviate score (utility of the policy's bid minus the "
+      "truthful bid, all else fixed; for truthful agents, the best gain "
+      "over the canonical shade(1.5)/delay(2) deviations). The leaderboard "
+      "is byte-identical across runs and worker-thread counts.");
+  cli.add_string("mechanisms", "online,offline,second-price",
+                 "comma-separated: online | offline | second-price | "
+                 "posted(P) | patience(K)");
+  cli.add_string("policies",
+                 "truthful;"
+                 "shaded=truthful:3,shade(1.5):1;"
+                 "delayed=truthful:3,delay(2):1",
+                 "semicolon-separated mixes, each [name=]policy:weight,... "
+                 "(policies: truthful | shade(F) | delay(K) | early(K) | "
+                 "best-response)");
+  cli.add_int("rounds", 400, "seeded rounds per cell");
+  cli.add_int("slots", 12, "slots per round (m)");
+  cli.add_double("lambda", 4.0, "smartphone arrival rate per slot");
+  cli.add_double("lambda-t", 2.0, "task arrival rate per slot");
+  cli.add_int("seed", 42, "arena seed (rounds, assignment, probes)");
+  cli.add_int("threads", 1, "worker threads for the cell fan-out "
+                            "(0 = hardware; any value, same bytes)");
+  cli.add_int("probes", 4, "deviation probes per (round, policy)");
+  cli.add_double("reserve", 0.0, "online reserve price (0 = none)");
+  cli.add_switch("profitable-only", "skip bids above the task value");
+  cli.add_string("json", "", "write the mcs.arena.v1 leaderboard JSON");
+  cli.add_string("out", "", "also write the markdown leaderboard to a file");
+  cli.add_string("metrics-out", "", "write a telemetry JSON report");
+  if (!cli.parse(argc, argv)) return 0;
+
+  arena::ArenaConfig config;
+  config.rounds = cli.get_int("rounds");
+  config.threads = static_cast<int>(cli.get_int("threads"));
+  config.match.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.match.probes_per_policy = cli.get_int("probes");
+  config.match.workload.num_slots =
+      static_cast<Slot::rep_type>(cli.get_int("slots"));
+  config.match.workload.phone_arrival_rate = cli.get_double("lambda");
+  config.match.workload.task_arrival_rate = cli.get_double("lambda-t");
+  if (cli.get_double("reserve") > 0.0) {
+    config.match.greedy.reserve_price =
+        Money::from_double(cli.get_double("reserve"));
+  }
+  config.match.greedy.allocate_only_profitable =
+      cli.get_switch("profitable-only");
+  {
+    std::istringstream split(cli.get_string("mechanisms"));
+    for (std::string spec; std::getline(split, spec, ',');) {
+      if (!spec.empty()) config.mechanisms.push_back(spec);
+    }
+  }
+  {
+    std::istringstream split(cli.get_string("policies"));
+    for (std::string spec; std::getline(split, spec, ';');) {
+      if (!spec.empty()) config.mixes.push_back(spec);
+    }
+  }
+
+  CliTelemetry telemetry(cli.get_string("metrics-out"), false);
+  const arena::ArenaResult result = arena::run_arena(config);
+
+  std::ostringstream markdown;
+  arena::render_arena_markdown(markdown, result);
+  std::cout << markdown.str();
+  if (const std::string out = cli.get_string("out"); !out.empty()) {
+    std::ofstream file(out);
+    if (!file) throw IoError("cannot open output file: " + out);
+    file << markdown.str();
+    std::cout << "leaderboard written to " << out << '\n';
+  }
+  if (const std::string json = cli.get_string("json"); !json.empty()) {
+    std::ofstream file(json);
+    if (!file) throw IoError("cannot open output file: " + json);
+    arena::write_arena_json(file, result);
+    std::cout << "mcs.arena.v1 written to " << json << '\n';
+  }
+  telemetry.finish({{"tool", "mcs_cli arena"}});
+  return 0;
+}
+
+/// Dispatches one subcommand; returns -1 when the name is unknown (the
+/// caller owns the unknown-subcommand diagnostics, so 'help X' and plain
+/// 'X' report identically).
+int dispatch(const std::string& subcommand, int argc,
+             const char* const* argv) {
+  if (subcommand == "generate") return cmd_generate(argc, argv);
+  if (subcommand == "run") return cmd_run(argc, argv);
+  if (subcommand == "audit") return cmd_audit(argc, argv);
+  if (subcommand == "figure") return cmd_figure(argc, argv);
+  if (subcommand == "report") return cmd_report(argc, argv);
+  if (subcommand == "replay") return cmd_replay(argc, argv);
+  if (subcommand == "explain") return cmd_explain(argc, argv);
+  if (subcommand == "serve") return cmd_serve(argc, argv);
+  if (subcommand == "econ-report") return cmd_econ_report(argc, argv);
+  if (subcommand == "trace-report") return cmd_trace_report(argc, argv);
+  if (subcommand == "bench-diff") return cmd_bench_diff(argc, argv);
+  if (subcommand == "arena") return cmd_arena(argc, argv);
+  return -1;
+}
+
+int unknown_subcommand(const std::string& subcommand) {
+  std::cerr << "unknown subcommand: " << subcommand << "\n\n";
+  print_usage(std::cerr);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Exit-code contract: requested help prints to stdout and exits 0
+  // (banner for 'help'/'--help', per-command usage for 'help <sub>' and
+  // '<sub> --help'); usage errors -- no arguments, unknown subcommand --
+  // diagnose on stderr and exit 2; runtime failures exit 1.
   if (argc < 2) {
-    print_usage();
+    print_usage(std::cerr);
     return 2;
   }
   const std::string subcommand = argv[1];
   try {
-    if (subcommand == "generate") return cmd_generate(argc - 1, argv + 1);
-    if (subcommand == "run") return cmd_run(argc - 1, argv + 1);
-    if (subcommand == "audit") return cmd_audit(argc - 1, argv + 1);
-    if (subcommand == "figure") return cmd_figure(argc - 1, argv + 1);
-    if (subcommand == "report") return cmd_report(argc - 1, argv + 1);
-    if (subcommand == "replay") return cmd_replay(argc - 1, argv + 1);
-    if (subcommand == "explain") return cmd_explain(argc - 1, argv + 1);
-    if (subcommand == "serve") return cmd_serve(argc - 1, argv + 1);
-    if (subcommand == "econ-report") {
-      return cmd_econ_report(argc - 1, argv + 1);
-    }
-    if (subcommand == "trace-report") {
-      return cmd_trace_report(argc - 1, argv + 1);
-    }
-    if (subcommand == "bench-diff") return cmd_bench_diff(argc - 1, argv + 1);
     if (subcommand == "--help" || subcommand == "help") {
-      print_usage();
+      if (subcommand == "help" && argc >= 3) {
+        const char* help_argv[] = {argv[2], "--help"};
+        const int code = dispatch(argv[2], 2, help_argv);
+        return code == -1 ? unknown_subcommand(argv[2]) : code;
+      }
+      print_usage(std::cout);
       return 0;
     }
-    std::cerr << "unknown subcommand: " << subcommand << "\n\n";
-    print_usage();
-    return 2;
+    const int code = dispatch(subcommand, argc - 1, argv + 1);
+    return code == -1 ? unknown_subcommand(subcommand) : code;
   } catch (const mcs::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
