@@ -83,7 +83,12 @@ Money Money::parse(std::string_view text) {
     for (; digits < 6; ++digits) frac *= 10;
   }
   if (pos != text.size()) return fail();
+  // The whole-part guard above caps whole at max()/kScale, but the
+  // fractional digits can still push the total past max() (e.g.
+  // "2305843009213.999999"); parsed amounts must stay inside the
+  // [-max(), max()] envelope the solvers treat as +/-infinity.
   const std::int64_t micros = whole * kScale + frac;
+  if (micros > max().micros()) return fail();
   return Money{negative ? -micros : micros};
 }
 

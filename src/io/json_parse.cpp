@@ -272,6 +272,13 @@ double JsonValue::as_number() const {
 
 std::int64_t JsonValue::as_int() const {
   const double n = as_number();
+  // The int64-representable doubles live in [-2^63, 2^63); casting
+  // anything outside that range is UB, not saturation. 9223372036854775807
+  // in JSON text parses to the double 2^63 exactly, so it must be caught
+  // here, before the cast.
+  if (!(n >= -9223372036854775808.0 && n < 9223372036854775808.0)) {
+    throw InvalidArgumentError("JSON number is out of int64 range");
+  }
   const auto as_integer = static_cast<std::int64_t>(n);
   if (static_cast<double>(as_integer) != n) {
     throw InvalidArgumentError("JSON number is not integral");

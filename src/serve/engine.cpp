@@ -37,6 +37,10 @@ void ServeConfig::validate() const {
   if (queue_capacity < 1) {
     throw InvalidArgumentError("serve: queue_capacity must be >= 1");
   }
+  if (batch_size < 1 || batch_size > queue_capacity) {
+    throw InvalidArgumentError(
+        "serve: batch_size must be in [1, queue_capacity]");
+  }
 }
 
 std::string_view to_string(SubmitStatus status) {
@@ -60,60 +64,6 @@ int shard_of_round(std::int64_t round, int shards) {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   x ^= x >> 31;
   return static_cast<int>(x % static_cast<std::uint64_t>(shards));
-}
-
-// --------------------------------------------------------- bounded queue
-
-std::int64_t ServeEngine::BoundedQueue::push_block(const Queued& item) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock,
-                 [&] { return closed_ || items_.size() < capacity_; });
-  if (closed_) return -1;
-  items_.push_back(item);
-  const auto depth = static_cast<std::int64_t>(items_.size());
-  high_watermark_ = std::max(high_watermark_, depth);
-  not_empty_.notify_one();
-  return depth;
-}
-
-std::int64_t ServeEngine::BoundedQueue::try_push(const Queued& item) {
-  std::int64_t depth = -1;
-  {
-    const std::scoped_lock lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return -1;
-    items_.push_back(item);
-    depth = static_cast<std::int64_t>(items_.size());
-    high_watermark_ = std::max(high_watermark_, depth);
-  }
-  not_empty_.notify_one();
-  return depth;
-}
-
-std::optional<ServeEngine::Popped> ServeEngine::BoundedQueue::pop() {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-  if (items_.empty()) return std::nullopt;  // closed and drained
-  Popped popped{std::move(items_.front().event), items_.front().enqueue_ns,
-                0};
-  items_.pop_front();
-  popped.depth_left = static_cast<std::int64_t>(items_.size());
-  lock.unlock();
-  not_full_.notify_one();
-  return popped;
-}
-
-std::int64_t ServeEngine::BoundedQueue::high_watermark() const {
-  const std::scoped_lock lock(mutex_);
-  return high_watermark_;
-}
-
-void ServeEngine::BoundedQueue::close() {
-  {
-    const std::scoped_lock lock(mutex_);
-    closed_ = true;
-  }
-  not_full_.notify_all();
-  not_empty_.notify_all();
 }
 
 // ---------------------------------------------------------------- engine
@@ -156,27 +106,49 @@ std::uint64_t ServeEngine::stamp_ns() {
 }
 
 SubmitStatus ServeEngine::submit(const ServeEvent& event) {
+  return submit_batch(shard_of_round(event.round, config_.shards), &event, 1);
+}
+
+SubmitStatus ServeEngine::submit_batch(int shard_index,
+                                       const ServeEvent* events,
+                                       std::size_t count) {
+  if (count == 0) return SubmitStatus::kAccepted;
+  if (shard_index < 0 || shard_index >= config_.shards) {
+    throw InvalidArgumentError("serve: submit_batch shard out of range");
+  }
+  // A misrouted event would split its round across two workers and
+  // silently corrupt the outcome; the hash re-check is a few ns per event.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (shard_of_round(events[i].round, config_.shards) != shard_index) {
+      throw InvalidArgumentError(
+          "serve: submit_batch event routed to the wrong shard");
+    }
+  }
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::kRejectedStopped;
   }
   LiveTelemetry* const live = config_.live;
-  const int shard_index = shard_of_round(event.round, config_.shards);
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
-  const Queued item{event, stamp_ns()};
+  // One clock read per handoff: the whole batch is enqueued at a single
+  // instant, so its events legitimately share the stamp.
   const std::int64_t depth =
       config_.admission == ServeConfig::Admission::kBlock
-          ? shard.queue.push_block(item)
-          : shard.queue.try_push(item);
+          ? shard.queue.push_block(events, count, stamp_ns())
+          : shard.queue.try_push(events, count, stamp_ns());
   if (depth < 0) {
     if (stopping_.load(std::memory_order_relaxed)) {
       return SubmitStatus::kRejectedStopped;
     }
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (live != nullptr) live->on_reject(shard_index);
+    const auto shed = static_cast<std::int64_t>(count);
+    rejected_.fetch_add(shed, std::memory_order_relaxed);
+    if (live != nullptr) live->on_reject(shard_index, shed);
     return SubmitStatus::kRejectedQueueFull;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (live != nullptr) live->on_submit(shard_index, depth);
+  submitted_.fetch_add(static_cast<std::int64_t>(count),
+                       std::memory_order_relaxed);
+  if (live != nullptr) {
+    live->on_submit(shard_index, static_cast<std::int64_t>(count), depth);
+  }
   return SubmitStatus::kAccepted;
 }
 
@@ -192,42 +164,52 @@ void ServeEngine::worker_main(Shard& shard) {
   TracePlane* const trace = config_.trace;
   std::unordered_map<std::int64_t, RoundMachine> machines;
   std::unordered_map<std::int64_t, std::uint64_t> open_ns;  // live plane
-  while (std::optional<Popped> popped = shard.queue.pop()) {
-    std::uint64_t now = 0;
-    if (live != nullptr) {
-      now = live->now_ns();
-      live->on_process(shard.index,
-                       now >= popped->enqueue_ns ? now - popped->enqueue_ns
+  // Consumer-side batching mirrors the producer side: up to kPopBatch
+  // events leave the ring under one lock. The buffer is reused across
+  // iterations, so the steady-state loop performs no allocation.
+  constexpr std::size_t kPopBatch = 64;
+  std::vector<PoppedEvent> batch;
+  batch.reserve(kPopBatch);
+  while (shard.queue.pop_batch(batch, kPopBatch) > 0) {
+    for (const PoppedEvent& popped : batch) {
+      std::uint64_t now = 0;
+      if (live != nullptr) {
+        now = live->now_ns();
+        live->on_process(shard.index,
+                         now >= popped.enqueue_ns ? now - popped.enqueue_ns
+                                                  : 0,
+                         popped.depth_left);
+      } else if (trace != nullptr) {
+        now = trace->now_ns();
+      }
+      if (trace != nullptr) {
+        trace->on_event(shard.index,
+                        now >= popped.enqueue_ns ? now - popped.enqueue_ns
                                                  : 0,
-                       popped->depth_left);
-    } else if (trace != nullptr) {
-      now = trace->now_ns();
-    }
-    if (trace != nullptr) {
-      trace->on_event(shard.index,
-                      now >= popped->enqueue_ns ? now - popped->enqueue_ns : 0,
-                      popped->event.client_lag_ns);
-    }
-    if (!shard.error.empty()) continue;  // poisoned: drain without work
-    try {
-      process_event(shard, machines, open_ns, popped->event, now,
-                    popped->enqueue_ns);
-    } catch (const Error& e) {
-      if (config_.admission == ServeConfig::Admission::kReject) {
-        // Shedding already made the stream lossy; a hole in one round's
-        // event sequence drops that round, not the whole engine.
-        if (trace != nullptr) {
-          trace->on_round_corrupted(shard.index, popped->event.round,
-                                    stamp_ns());
+                        popped.event.client_lag_ns);
+      }
+      if (!shard.error.empty()) continue;  // poisoned: drain without work
+      try {
+        process_event(shard, machines, open_ns, popped.event, now,
+                      popped.enqueue_ns);
+      } catch (const Error& e) {
+        if (config_.admission == ServeConfig::Admission::kReject) {
+          // Shedding already made the stream lossy; a hole in one round's
+          // event sequence drops that round, not the whole engine.
+          if (trace != nullptr) {
+            trace->on_round_corrupted(shard.index, popped.event.round,
+                                      stamp_ns());
+          }
+          machines.erase(popped.event.round);
+          open_ns.erase(popped.event.round);
+          ++shard.stats.rounds_corrupted;
+          obs::count("serve.rounds_corrupted");
+        } else {
+          shard.error = e.what();
         }
-        machines.erase(popped->event.round);
-        open_ns.erase(popped->event.round);
-        ++shard.stats.rounds_corrupted;
-        obs::count("serve.rounds_corrupted");
-      } else {
-        shard.error = e.what();
       }
     }
+    batch.clear();
   }
   if (trace != nullptr) trace->on_worker_exit(shard.index, stamp_ns());
   shard.stats.rounds_abandoned +=
@@ -384,6 +366,62 @@ std::vector<RoundOutcome> ServeEngine::take_outcomes() {
 const ServeStats& ServeEngine::stats() const {
   MCS_EXPECTS(drained_, "stats requires drain()");
   return totals_;
+}
+
+// ---------------------------------------------------------- ShardBatcher
+
+ShardBatcher::ShardBatcher(ServeEngine& engine)
+    : engine_(engine), batch_size_(engine.config().batch_size) {
+  buffers_.resize(static_cast<std::size_t>(engine.config().shards));
+  for (auto& buffer : buffers_) buffer.reserve(batch_size_);
+}
+
+ShardBatcher::~ShardBatcher() {
+  (void)flush();  // best effort; call flush() yourself for the verdict
+}
+
+SubmitStatus ShardBatcher::flush_shard(std::size_t shard) {
+  std::vector<ServeEvent>& buffer = buffers_[shard];
+  if (buffer.empty()) return SubmitStatus::kAccepted;
+  const std::int64_t count = static_cast<std::int64_t>(buffer.size());
+  const SubmitStatus status = engine_.submit_batch(
+      static_cast<int>(shard), buffer.data(), buffer.size());
+  buffer.clear();
+  if (status == SubmitStatus::kAccepted) {
+    accepted_ += count;
+  } else {
+    rejected_ += count;
+  }
+  return status;
+}
+
+SubmitStatus ShardBatcher::add(const ServeEvent& event) {
+  const int shard = shard_of_round(event.round, engine_.config().shards);
+  std::vector<ServeEvent>& buffer =
+      buffers_[static_cast<std::size_t>(shard)];
+  buffer.push_back(event);
+  if (buffer.size() < batch_size_) return SubmitStatus::kAccepted;
+  return flush_shard(static_cast<std::size_t>(shard));
+}
+
+SubmitStatus ShardBatcher::flush() {
+  SubmitStatus verdict = SubmitStatus::kAccepted;
+  for (std::size_t shard = 0; shard < buffers_.size(); ++shard) {
+    const SubmitStatus status = flush_shard(shard);
+    if (status != SubmitStatus::kAccepted &&
+        verdict == SubmitStatus::kAccepted) {
+      verdict = status;
+    }
+  }
+  return verdict;
+}
+
+std::int64_t ShardBatcher::buffered() const {
+  std::int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += static_cast<std::int64_t>(buffer.size());
+  }
+  return total;
 }
 
 }  // namespace mcs::serve

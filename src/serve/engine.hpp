@@ -28,12 +28,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -43,6 +39,7 @@
 #include "auction/online_greedy.hpp"
 #include "obs/metrics.hpp"
 #include "serve/event.hpp"
+#include "serve/queue.hpp"
 #include "serve/round_machine.hpp"
 
 namespace mcs::serve {
@@ -56,6 +53,13 @@ struct ServeConfig {
   int shards = 1;
   /// Bounded depth of each shard's event queue.
   std::size_t queue_capacity = 1024;
+  /// Producer-side batch size used by ShardBatcher (and the flush
+  /// threshold of each of its per-shard buffers). 1 keeps the historical
+  /// event-at-a-time handoff; larger values amortize the queue lock over
+  /// the batch. Must stay <= queue_capacity (an oversized batch could
+  /// never fit). Batching changes only handoff granularity -- event order
+  /// per round, outcomes, and deterministic counters are unaffected.
+  std::size_t batch_size = 1;
 
   /// The admission policy also fixes how workers treat broken round
   /// streams: under kBlock nothing is ever shed, so a hole in a round's
@@ -145,6 +149,15 @@ class ServeEngine {
   /// Routes one event to its shard. Thread-safe (any number of producers).
   SubmitStatus submit(const ServeEvent& event);
 
+  /// Hands a batch of events to ONE shard under a single queue-lock
+  /// acquisition. All events must hash to `shard_index` (checked); the
+  /// batch is enqueued all-or-nothing: under kReject a full queue sheds
+  /// the entire batch (counted per event), under kBlock the call waits
+  /// until the whole batch fits. Thread-safe. Prefer ShardBatcher, which
+  /// does the routing and flushing.
+  SubmitStatus submit_batch(int shard_index, const ServeEvent* events,
+                            std::size_t count);
+
   /// Graceful shutdown: closes the queues, waits for every queued event to
   /// be processed, joins the workers, merges shard telemetry into the
   /// registry installed at construction, and aggregates stats. Idempotent.
@@ -159,54 +172,12 @@ class ServeEngine {
   [[nodiscard]] const ServeStats& stats() const;
 
  private:
-  /// One queued event plus its wall-clock enqueue stamp (0 when both the
-  /// live and trace planes are off -- the clock is never read then).
-  struct Queued {
-    ServeEvent event;
-    std::uint64_t enqueue_ns{0};
-  };
-
-  /// One popped event with the queue state the consumer observed.
-  struct Popped {
-    ServeEvent event;
-    std::uint64_t enqueue_ns{0};
-    std::int64_t depth_left{0};  ///< items remaining after this pop
-  };
-
-  /// Bounded MPSC queue: many producers (submit), one consumer (worker).
-  /// Push results report the depth after the push (-1 = not enqueued) so
-  /// the live plane can track watermarks without re-locking.
-  class BoundedQueue {
-   public:
-    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
-
-    /// Blocks until space; -1 when the queue was closed meanwhile.
-    std::int64_t push_block(const Queued& item);
-    /// Fails fast: -1 when full or closed.
-    std::int64_t try_push(const Queued& item);
-    /// Blocks for the next event; nullopt when closed and empty.
-    std::optional<Popped> pop();
-    void close();
-    /// Highest depth ever reached (the deterministic-plane stat merged
-    /// into ServeStats at drain).
-    [[nodiscard]] std::int64_t high_watermark() const;
-
-   private:
-    mutable std::mutex mutex_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<Queued> items_;
-    std::size_t capacity_;
-    std::int64_t high_watermark_{0};
-    bool closed_{false};
-  };
-
   struct Shard {
-    Shard(int index, std::size_t queue_capacity)
-        : index(index), queue(queue_capacity) {}
+    Shard(int shard_index, std::size_t queue_capacity)
+        : index(shard_index), queue(queue_capacity) {}
 
     int index;
-    BoundedQueue queue;
+    EventRing queue;  ///< preallocated bounded ring; see serve/queue.hpp
     std::thread worker;
     obs::MetricsRegistry registry;  ///< used only when telemetry is on
     std::vector<RoundOutcome> outcomes;
@@ -232,6 +203,54 @@ class ServeEngine {
   std::atomic<bool> stopping_{false};
   bool drained_{false};
   ServeStats totals_;
+};
+
+/// Producer-side batching front of submit_batch(): one ShardBatcher per
+/// producer thread (NOT thread-safe itself; the engine handoff underneath
+/// is). Events accumulate in a per-shard buffer and are flushed to their
+/// shard's queue when the buffer reaches the engine's configured
+/// batch_size -- so the queue lock is taken once per batch instead of once
+/// per event. Events of one round keep their submission order (they share
+/// a shard and a buffer), which preserves the engine's determinism
+/// guarantee.
+///
+/// Under kReject admission the shed granularity becomes the batch: a full
+/// queue drops the whole flushed buffer (every event counted rejected).
+/// flush() pushes out every partial buffer; the destructor flushes too,
+/// swallowing the verdict -- call flush() explicitly when you need it.
+class ShardBatcher {
+ public:
+  explicit ShardBatcher(ServeEngine& engine);
+  ~ShardBatcher();
+
+  ShardBatcher(const ShardBatcher&) = delete;
+  ShardBatcher& operator=(const ShardBatcher&) = delete;
+
+  /// Buffers one event; flushes its shard's buffer when full. Returns
+  /// kAccepted when merely buffered, otherwise the flush verdict.
+  SubmitStatus add(const ServeEvent& event);
+
+  /// Flushes every non-empty buffer (in shard order). Returns kAccepted
+  /// only if every flush was accepted, else the first failure's verdict.
+  SubmitStatus flush();
+
+  /// Events currently buffered and not yet handed to the engine.
+  [[nodiscard]] std::int64_t buffered() const;
+
+  /// Exact per-event accounting across all flushes so far: events the
+  /// engine admitted, and events lost to non-accepted flushes (shed or
+  /// stopped -- whole batches under the all-or-nothing handoff).
+  [[nodiscard]] std::int64_t accepted_events() const { return accepted_; }
+  [[nodiscard]] std::int64_t rejected_events() const { return rejected_; }
+
+ private:
+  SubmitStatus flush_shard(std::size_t shard);
+
+  ServeEngine& engine_;
+  std::size_t batch_size_;
+  std::vector<std::vector<ServeEvent>> buffers_;  ///< one per shard
+  std::int64_t accepted_{0};
+  std::int64_t rejected_{0};
 };
 
 }  // namespace mcs::serve

@@ -1,5 +1,6 @@
 #include "serve/event.hpp"
 
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -15,13 +16,21 @@ namespace {
   throw InvalidArgumentError("mcs.serve.v1 event: " + what);
 }
 
-/// Required integral member with a domain check.
+/// Every slot/task/agent field is an int32 in memory (Slot::rep_type and
+/// friends); decoding wider values would silently truncate, which for an
+/// untrusted stream is indistinguishable from corruption. Reject instead.
+constexpr std::int64_t kMaxNarrowField =
+    std::numeric_limits<std::int32_t>::max();
+
+/// Required integral member with an inclusive domain check. Values outside
+/// [min_value, max_value] are rejected -- never narrowed or wrapped.
 std::int64_t require_int(const io::JsonValue& line, std::string_view key,
-                         std::int64_t min_value) {
+                         std::int64_t min_value,
+                         std::int64_t max_value = kMaxNarrowField) {
   const io::JsonValue* member = line.find(key);
   if (member == nullptr) bad_event("missing field '" + std::string(key) + "'");
   const std::int64_t value = member->as_int();
-  if (value < min_value) {
+  if (value < min_value || value > max_value) {
     bad_event("field '" + std::string(key) + "' out of domain");
   }
   return value;
@@ -163,7 +172,7 @@ ServeEvent decode_serve_event(const io::JsonValue& line) {
   const io::JsonValue* discriminator = line.find("ev");
   if (discriminator == nullptr) bad_event("missing field 'ev'");
   const std::string& ev = discriminator->as_string();
-  const std::int64_t round = require_int(line, "round", 0);
+  const std::int64_t round = require_int(line, "round", 0, kMaxServeRound);
 
   if (ev == "round_open") {
     const std::int64_t slots = require_int(line, "slots", 1);

@@ -40,6 +40,13 @@ namespace mcs::serve {
 
 inline constexpr std::string_view kServeSchema = "mcs.serve.v1";
 
+/// Largest admissible round id, shared by both codecs. JSONL numbers pass
+/// through double on the read side, so ids above 2^53-1 would round
+/// silently; the binary codec carries exact int64 but enforces the same
+/// cap so the two formats accept exactly the same streams (the
+/// differential fuzz pins this).
+inline constexpr std::int64_t kMaxServeRound = (std::int64_t{1} << 53) - 1;
+
 enum class ServeEventKind {
   kRoundOpen,     ///< a new auction round begins (carries horizon + nu)
   kTaskArrived,   ///< sensing query becomes a task in the current slot

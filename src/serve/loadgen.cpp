@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "serve/wire.hpp"
 
 namespace mcs::serve {
 
@@ -68,6 +69,27 @@ std::int64_t write_event_stream(std::ostream& os,
     write_serve_event(os, event);
     return static_cast<bool>(os);
   });
+}
+
+std::int64_t write_wire_stream(std::ostream& os,
+                               const LoadGenConfig& config) {
+  // Frames are encoded into a reused buffer and flushed in chunks so the
+  // stream write cost is amortized like the engine's batched handoff.
+  std::string buffer;
+  append_wire_header(buffer);
+  const std::int64_t frames =
+      generate_events(config, [&](const ServeEvent& event) {
+        append_wire_frame(buffer, event);
+        if (buffer.size() >= std::size_t{64} * 1024) {
+          os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+          buffer.clear();
+        }
+        return static_cast<bool>(os);
+      });
+  if (!buffer.empty()) {
+    os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  }
+  return frames;
 }
 
 PaceReport run_paced_load(

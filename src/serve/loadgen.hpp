@@ -50,6 +50,10 @@ std::int64_t generate_events(
 /// first). Returns the number of events written (header excluded).
 std::int64_t write_event_stream(std::ostream& os, const LoadGenConfig& config);
 
+/// Writes the whole load as an mcs.serve.b1 binary stream (stream header
+/// first). Returns the number of frames written (header excluded).
+std::int64_t write_wire_stream(std::ostream& os, const LoadGenConfig& config);
+
 // --------------------------------------------------- open-loop pacing mode
 
 /// Open-loop pacing: event k has the deterministic send deadline

@@ -39,8 +39,13 @@ std::uint64_t LiveTelemetry::now_ns() {
 }
 
 void LiveTelemetry::on_submit(int shard, std::int64_t depth_after) {
+  on_submit(shard, 1, depth_after);
+}
+
+void LiveTelemetry::on_submit(int shard, std::int64_t count,
+                              std::int64_t depth_after) {
   ShardSlot& slot = *slots_[static_cast<std::size_t>(shard)];
-  slot.submitted.fetch_add(1, std::memory_order_relaxed);
+  slot.submitted.fetch_add(count, std::memory_order_relaxed);
   slot.depth.store(depth_after, std::memory_order_relaxed);
   std::int64_t seen = slot.window_watermark.load(std::memory_order_relaxed);
   while (depth_after > seen &&
@@ -54,9 +59,11 @@ void LiveTelemetry::on_submit(int shard, std::int64_t depth_after) {
   }
 }
 
-void LiveTelemetry::on_reject(int shard) {
+void LiveTelemetry::on_reject(int shard) { on_reject(shard, 1); }
+
+void LiveTelemetry::on_reject(int shard, std::int64_t count) {
   slots_[static_cast<std::size_t>(shard)]->rejected.fetch_add(
-      1, std::memory_order_relaxed);
+      count, std::memory_order_relaxed);
 }
 
 void LiveTelemetry::on_process(int shard, std::uint64_t queue_wait_ns,

@@ -96,9 +96,14 @@ class LiveTelemetry {
   /// Uptime timestamp (ns since attach) from the injected clock.
   [[nodiscard]] std::uint64_t now_ns();
 
-  // Engine hooks. Thread-safe, wait-free (relaxed atomics only).
+  // Engine hooks. Thread-safe, wait-free (relaxed atomics only). The
+  // count-taking overloads serve the batched handoff path: one call per
+  // batch, counted as `count` events at the batch's depth-after (the exact
+  // instantaneous occupancy -- batch pushes are all-or-nothing).
   void on_submit(int shard, std::int64_t depth_after);
+  void on_submit(int shard, std::int64_t count, std::int64_t depth_after);
   void on_reject(int shard);
+  void on_reject(int shard, std::int64_t count);
   void on_process(int shard, std::uint64_t queue_wait_ns,
                   std::int64_t depth_after);
   void on_round_close(int shard, std::uint64_t round_latency_ns);

@@ -1,0 +1,156 @@
+// Compact binary wire codec for mcs.serve.v1 events ("mcs.serve.b1").
+//
+// JSONL is the right interchange format -- human-readable, greppable,
+// diffable -- and the wrong hot path: every event pays a generic JSON
+// parse, a decimal-string Money round trip, and a heap-allocated member
+// tree. The binary codec removes all three. Events travel as
+// length-prefixed frames of fixed-width little-endian fields with Money as
+// its exact int64 micro count; decoding reads straight out of the byte
+// span into a stack ServeEvent, touching no allocator.
+//
+// Stream layout:
+//
+//   header (8 bytes):  'M' 'C' 'S' 'B'  u16 version (=1, LE)  u16 flags (=0)
+//   frame:             u32 payload length (LE), then the payload:
+//                      u8 kind, fixed fields per kind (all LE)
+//
+//   kind 0 round_open     i64 round  i32 slots  i64 value_micros      (21)
+//   kind 1 task_arrived   i64 round  i32 slot   i32 task  u8 has_value
+//                         [i64 value_micros when has_value=1]    (18 | 26)
+//   kind 2 bid_submitted  i64 round  i32 agent  i32 from  i32 to
+//                         i64 cost_micros                            (29)
+//   kind 3 slot_tick      i64 round  i32 slot                        (13)
+//   kind 4 round_close    i64 round                                   (9)
+//
+// Versioning / compatibility rules (strict by design -- the stream is
+// untrusted input on the serving hot path):
+//   * the magic and version are mandatory; an unknown version is rejected,
+//     never "best-effort" decoded, and v1 requires flags == 0;
+//   * a frame's length must equal its kind's exact layout size -- trailing
+//     bytes inside a frame, unknown kinds, and lengths beyond
+//     kMaxWireFrameBytes are all rejected (no silent skipping: a payment
+//     pipeline must not guess);
+//   * any format evolution (new kinds, new fields) bumps the version; old
+//     decoders then reject the whole stream up front instead of failing
+//     midway.
+//
+// Both codecs enforce identical domain rules (round in [0, 2^53-1], slots
+// and slot >= 1, dense non-negative ids, from <= to, non-negative cost,
+// Money inside the +/-max() envelope), so for every event stream the
+// binary and JSONL decoders accept or reject in lockstep -- the
+// differential fuzz in serve_wire_test pins zero divergence. JSONL stays
+// the debug/interop format; `mcs_cli transcode` converts losslessly in
+// both directions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/event.hpp"
+
+namespace mcs::serve {
+
+/// Schema tag of the binary format (reported in errors and docs; the wire
+/// itself carries the 4-byte magic + version below).
+inline constexpr std::string_view kWireSchema = "mcs.serve.b1";
+
+inline constexpr char kWireMagic[4] = {'M', 'C', 'S', 'B'};
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 8;
+
+/// Hard cap on one frame's payload length. The largest v1 frame is 29
+/// bytes; anything claiming more is garbage (or a hostile length) and is
+/// rejected before any buffering happens.
+inline constexpr std::size_t kMaxWireFrameBytes = 64;
+
+/// Appends the 8-byte stream header.
+void append_wire_header(std::string& out);
+
+/// Appends one event as a length-prefixed frame.
+void append_wire_frame(std::string& out, const ServeEvent& event);
+
+/// One event as its frame bytes (length prefix included).
+[[nodiscard]] std::string encode_wire_frame(const ServeEvent& event);
+
+/// Checks a stream header prefix. Returns the bytes consumed
+/// (kWireHeaderBytes) or nullopt when `bytes` is a proper prefix of a
+/// valid header (feed more). Throws InvalidArgumentError on a wrong magic,
+/// unsupported version, or nonzero flags.
+[[nodiscard]] std::optional<std::size_t> decode_wire_header(
+    std::string_view bytes);
+
+struct DecodedFrame {
+  ServeEvent event;
+  std::size_t consumed{0};  ///< frame bytes, length prefix included
+};
+
+/// Decodes the first frame of `bytes`. Returns nullopt when the bytes are
+/// a proper prefix of a well-formed frame (feed more). Throws
+/// InvalidArgumentError on malformed or out-of-domain frames -- same
+/// domain rules as decode_serve_event, never UB, never zero-filled.
+[[nodiscard]] std::optional<DecodedFrame> decode_wire_frame(
+    std::string_view bytes);
+
+/// Incremental decoder for chunked transports (sockets deliver frames
+/// split at arbitrary byte boundaries). The carry buffer holding a partial
+/// frame tail is owned by the decoder and reused across feeds, so a
+/// steady-state connection performs no per-event allocation.
+class WireDecoder {
+ public:
+  /// Consumes `bytes`, invoking `sink` once per completed event frame (the
+  /// stream header is consumed silently). Returns the number of events
+  /// decoded by this call. Throws InvalidArgumentError on malformed input
+  /// (the connection is then poisoned: further feeds keep throwing).
+  std::int64_t feed(std::string_view bytes,
+                    const std::function<void(const ServeEvent&)>& sink);
+
+  /// True when no partial frame is buffered -- i.e. EOF here is a clean
+  /// end of stream rather than a truncated frame.
+  [[nodiscard]] bool idle() const { return carry_.empty() && !poisoned_; }
+
+  [[nodiscard]] bool header_seen() const { return header_done_; }
+
+  /// Events decoded over the decoder's lifetime.
+  [[nodiscard]] std::int64_t events_decoded() const { return decoded_; }
+
+ private:
+  std::string carry_;  ///< partial frame tail; capacity is retained
+  bool header_done_{false};
+  bool poisoned_{false};
+  std::int64_t decoded_{0};
+};
+
+// ------------------------------------------------------ stream transcoding
+
+enum class WireFormat {
+  kJsonl,   ///< mcs.serve.v1 JSON lines (debug / interop)
+  kBinary,  ///< mcs.serve.b1 frames (hot path)
+};
+
+[[nodiscard]] std::string_view to_string(WireFormat format);
+
+/// Sniffs a stream's format from its first bytes without consuming them:
+/// the binary magic 'MCSB' selects kBinary, anything else kJsonl (whose
+/// own parser then reports precise errors).
+[[nodiscard]] WireFormat detect_stream_format(std::istream& is);
+
+/// Reads a whole serve stream in either format (autodetected), invoking
+/// `sink` per event. Throws InvalidArgumentError naming the line (JSONL)
+/// or byte offset (binary) on malformed input, including a truncated
+/// final frame. Returns the number of events.
+std::int64_t read_serve_stream(
+    std::istream& is, const std::function<void(const ServeEvent&)>& sink);
+
+/// Losslessly transcodes a serve stream (autodetected input format) into
+/// `to`. Event-preserving and, for canonical streams, byte-exact on a
+/// round trip: jsonl -> binary -> jsonl reproduces the input bytes.
+/// Returns the number of events transcoded.
+std::int64_t transcode_serve_stream(std::istream& is, std::ostream& os,
+                                    WireFormat to);
+
+}  // namespace mcs::serve

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,21 @@ TEST(JsonParseFuzz, MalformedNumbersFailCleanly) {
   // for hardening is that nothing non-finite or trailing ever gets through.
   EXPECT_TRUE(parses_cleanly("01"));
   EXPECT_TRUE(parses_cleanly(".5"));
+}
+
+TEST(JsonParseFuzz, AsIntRejectsOutOfRangeDoubles) {
+  // INT64_MAX in JSON text parses to the double 2^63 exactly; casting that
+  // back to int64 is UB, so as_int must throw instead.
+  for (const std::string doc :
+       {"9223372036854775807", "9223372036854775808", "1e19", "-1e19",
+        "18446744073709551616"}) {
+    EXPECT_THROW((void)parse_json(doc).as_int(), InvalidArgumentError) << doc;
+  }
+  // -2^63 is exactly representable and exactly INT64_MIN: still admissible.
+  EXPECT_EQ(parse_json("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_json("9007199254740992").as_int(),
+            std::int64_t{1} << 53);
 }
 
 TEST(JsonParseFuzz, StructuralGarbageFailsCleanly) {

@@ -38,9 +38,47 @@ TEST(MoneyParse, AcceptsCommonForms) {
 
 TEST(MoneyParse, RejectsMalformedInput) {
   for (const char* bad :
-       {"", "abc", "1.", ".5", "1.0000001", "1 2", "--1", "1e3", "12x"}) {
+       {"", "abc", "1.", ".5", "1.0000001", "1 2", "--1", "1e3", "12x",
+        "+", "-", "+-1", "1.2.3"}) {
     EXPECT_THROW(std::ignore = Money::parse(bad), InvalidArgumentError) << bad;
   }
+}
+
+TEST(MoneyParse, EnforcesTheMaxEnvelopeExactly) {
+  // max() is the solvers' +infinity sentinel; parse must never produce an
+  // amount outside [-max(), max()]. The boundary is micro-exact: the
+  // fractional digits used to leak past the whole-part overflow guard.
+  const Money max = Money::max();
+  EXPECT_EQ(Money::parse(max.to_string()), max);
+  EXPECT_EQ(Money::parse((-max).to_string()), -max);
+  const Money one_below = max - Money::from_micros(1);
+  EXPECT_EQ(Money::parse(one_below.to_string()), one_below);
+  // One micro past the cap, same digit count: must be rejected, not
+  // silently accepted beyond the envelope (and never UB).
+  const std::int64_t whole = max.micros() / Money::kScale;
+  EXPECT_THROW(
+      std::ignore = Money::parse(std::to_string(whole) + ".999999"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      std::ignore = Money::parse("-" + std::to_string(whole) + ".999999"),
+      InvalidArgumentError);
+  // Far past the cap (INT64_MAX-scale whole parts).
+  EXPECT_THROW(std::ignore = Money::parse("9223372036854775807"),
+               InvalidArgumentError);
+  EXPECT_THROW(std::ignore = Money::parse("-9223372036854775808"),
+               InvalidArgumentError);
+}
+
+TEST(MoneyParse, SignEdgeCases) {
+  // A leading '+' is accepted (human-written scenario files) but never
+  // emitted: the canonical rendering strips it, so a canonical stream
+  // re-encodes byte-identically.
+  EXPECT_EQ(Money::parse("+0.5"), Money::from_micros(500'000));
+  EXPECT_EQ(Money::parse("+0.5").to_string(), "0.5");
+  // "-0" variants normalize to exact zero (no negative-zero state).
+  EXPECT_EQ(Money::parse("-0"), Money{});
+  EXPECT_EQ(Money::parse("-0.000000"), Money{});
+  EXPECT_FALSE(Money::parse("-0").is_negative());
 }
 
 // ------------------------------------------------------------ round trips

@@ -21,6 +21,7 @@
 #include "serve/loadgen.hpp"
 #include "serve/replay.hpp"
 #include "serve/verify.hpp"
+#include "serve/wire.hpp"
 
 namespace mcs::serve {
 namespace {
@@ -219,6 +220,80 @@ TEST(ServeReplay, MalformedLineReportsItsLineNumber) {
     FAIL() << "expected InvalidArgumentError";
   } catch (const InvalidArgumentError& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  engine.drain();
+}
+
+TEST(ServeReplay, BinaryReplayMatchesJsonlReplay) {
+  const LoadGenConfig load = small_load(5);
+  std::ostringstream jsonl;
+  write_event_stream(jsonl, load);
+  std::istringstream jsonl_in(jsonl.str());
+  std::ostringstream binary;
+  transcode_serve_stream(jsonl_in, binary, WireFormat::kBinary);
+
+  ServeConfig config;
+  config.shards = 2;
+  ServeEngine via_jsonl(config);
+  std::istringstream a(jsonl.str());
+  const ReplayStats jsonl_stats = replay_event_stream(a, via_jsonl);
+  via_jsonl.drain();
+
+  ServeEngine via_binary(config);
+  std::istringstream b(binary.str());
+  const ReplayStats binary_stats = replay_event_stream(b, via_binary);
+  via_binary.drain();
+
+  EXPECT_EQ(binary_stats.events, jsonl_stats.events);
+  EXPECT_EQ(binary_stats.accepted, jsonl_stats.accepted);
+  EXPECT_EQ(binary_stats.lines, 0);  // frames are not line-shaped
+  expect_same_outcomes(via_jsonl.take_outcomes(), via_binary.take_outcomes());
+}
+
+TEST(ServeReplay, BatchedReplayMatchesPerEventReplay) {
+  const LoadGenConfig load = small_load(5);
+  std::ostringstream recorded;
+  write_event_stream(recorded, load);
+
+  ServeConfig config;
+  config.shards = 4;
+  ServeEngine per_event(config);
+  std::istringstream a(recorded.str());
+  const ReplayStats one_at_a_time = replay_event_stream(a, per_event);
+  per_event.drain();
+
+  config.batch_size = 32;
+  ServeEngine batched(config);
+  std::istringstream b(recorded.str());
+  const ReplayStats in_batches =
+      replay_event_stream(b, batched, /*batch=*/true);
+  batched.drain();
+
+  EXPECT_EQ(in_batches.events, one_at_a_time.events);
+  EXPECT_EQ(in_batches.accepted, one_at_a_time.accepted);
+  EXPECT_EQ(in_batches.shed, 0);
+  expect_same_outcomes(per_event.take_outcomes(), batched.take_outcomes());
+}
+
+TEST(ServeReplay, TruncatedBinaryStreamReportsByteOffset) {
+  const LoadGenConfig load = small_load(2);
+  std::ostringstream jsonl;
+  write_event_stream(jsonl, load);
+  std::istringstream jsonl_in(jsonl.str());
+  std::ostringstream binary;
+  transcode_serve_stream(jsonl_in, binary, WireFormat::kBinary);
+  std::string bytes = binary.str();
+  bytes.pop_back();
+
+  ServeConfig config;
+  ServeEngine engine(config);
+  std::istringstream is(bytes);
+  try {
+    replay_event_stream(is, engine);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
         << e.what();
   }
   engine.drain();

@@ -126,6 +126,22 @@ TEST(ServeWire, RejectsMalformedLines) {
       R"({"ev":"bid_submitted","round":0,"agent":0,"from":4,"to":2,"cost":"1"})",
       // wrong schema header
       R"({"schema":"mcs.serve.v2"})",
+      // int32 overflow: 2^32+1 would silently truncate to 1 if narrowed
+      R"({"ev":"round_open","round":0,"slots":4294967297,"value":"1"})",
+      R"({"ev":"slot_tick","round":0,"slot":4294967297})",
+      R"({"ev":"task_arrived","round":0,"slot":1,"task":4294967297})",
+      R"({"ev":"bid_submitted","round":0,"agent":4294967297,"from":1,"to":2,"cost":"1"})",
+      R"({"ev":"bid_submitted","round":0,"agent":0,"from":1,"to":4294967297,"cost":"1"})",
+      // round id beyond exact-double range (2^53): both codecs reject
+      R"({"ev":"round_close","round":9007199254740992})",
+      // negative cost
+      R"({"ev":"bid_submitted","round":0,"agent":0,"from":1,"to":2,"cost":"-1"})",
+      // Money beyond the max() envelope (fraction pushes past the cap)
+      R"({"ev":"round_open","round":0,"slots":3,"value":"2305843009213.999999"})",
+      // duplicate field (the JSON layer rejects; binary frames must too)
+      R"({"ev":"slot_tick","round":0,"round":1,"slot":1})",
+      // truncated mid-string
+      R"({"ev":"slot_tick","round":0,"slot)",
   };
   for (const std::string& line : bad) {
     EXPECT_THROW((void)decode_serve_line(line), InvalidArgumentError) << line;

@@ -7,7 +7,10 @@
 //   mcs_cli replay   events.jsonl
 //   mcs_cli explain  events.jsonl --phone 3
 //   mcs_cli serve    --loadgen --rounds 64 --shards 4 [--verify]
-//   mcs_cli serve    --replay stream.jsonl --shards 4
+//   mcs_cli serve    --replay stream.jsonl --shards 4 [--batch 64]
+//   mcs_cli serve    --listen 7777 --shards 8          (socket front-end)
+//   mcs_cli serve    --connect 127.0.0.1:7777 --wire   (load client)
+//   mcs_cli transcode --in stream.jsonl --out stream.bin
 //
 // generate draws a Table-I-style round and saves it as a plain-text
 // scenario file; run executes a mechanism on a scenario file and prints
@@ -19,9 +22,12 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -52,9 +58,11 @@
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/replay.hpp"
+#include "serve/socket.hpp"
 #include "serve/telemetry.hpp"
 #include "serve/trace_plane.hpp"
 #include "serve/verify.hpp"
+#include "serve/wire.hpp"
 #include "sim/experiments.hpp"
 #include "sim/html_report.hpp"
 
@@ -135,8 +143,13 @@ Subcommands:
   replay     re-execute a recorded decision log and verify the outcome
   explain    narrate one phone's round from a recorded decision log
   serve      streaming auction engine: sharded event-driven rounds fed by
-             the seeded load generator or a recorded mcs.serve.v1 stream
+             the seeded load generator, a recorded stream (--replay,
+             JSONL or binary, autodetected), or a TCP socket (--listen);
+             --connect turns the CLI into a load client pushing the
+             loadgen stream to a listening server
              (--econ-out turns on the live economic plane + sentinel)
+  transcode  losslessly convert a recorded serve stream between
+             mcs.serve.v1 JSONL and the mcs.serve.b1 binary wire format
   econ-report economic leaderboard: batch-simulate mechanisms into a
              markdown welfare/overpayment table, or summarize a live
              mcs.serve_econ.v1 snapshot stream (--from)
@@ -440,6 +453,57 @@ int cmd_replay(int argc, const char* const* argv) {
   return 1;
 }
 
+int cmd_transcode(int argc, const char* const* argv) {
+  io::CliParser cli(
+      "Losslessly converts a recorded serve event stream between "
+      "mcs.serve.v1 JSONL and the mcs.serve.b1 binary wire format. The "
+      "input format is autodetected from its first bytes; by default the "
+      "output is the other format (a JSONL->binary->JSONL round trip is "
+      "byte-exact). Both decoders are strict: a malformed input fails "
+      "with the offending line / byte offset instead of producing a "
+      "partial output.");
+  cli.add_string("in", "", "input stream (JSONL or binary, autodetected)");
+  cli.add_string("out", "", "output path");
+  cli.add_string("to", "",
+                 "target format: jsonl | binary (default: the opposite of "
+                 "the input)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string in_path = cli.get_string("in");
+  const std::string out_path = cli.get_string("out");
+  if (in_path.empty() || out_path.empty()) {
+    throw InvalidArgumentError(
+        "usage: mcs_cli transcode --in <stream> --out <stream> [--to "
+        "jsonl|binary]");
+  }
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) throw IoError("cannot open input stream: " + in_path);
+  const serve::WireFormat from = serve::detect_stream_format(in);
+
+  serve::WireFormat to = from == serve::WireFormat::kBinary
+                             ? serve::WireFormat::kJsonl
+                             : serve::WireFormat::kBinary;
+  if (const std::string target = cli.get_string("to"); !target.empty()) {
+    if (target == "jsonl") {
+      to = serve::WireFormat::kJsonl;
+    } else if (target == "binary") {
+      to = serve::WireFormat::kBinary;
+    } else {
+      throw InvalidArgumentError("unknown target format: " + target);
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw IoError("cannot open output stream: " + out_path);
+  const std::int64_t events = serve::transcode_serve_stream(in, out, to);
+  out.flush();
+  if (!out) throw IoError("write failed: " + out_path);
+  std::cout << "transcoded " << events << " events: " << in_path << " ("
+            << serve::to_string(from) << ") -> " << out_path << " ("
+            << serve::to_string(to) << ")\n";
+  return 0;
+}
+
 int cmd_bench_diff(int argc, const char* const* argv) {
   // Accept "bench-diff <baseline> <candidate> [--flags]" with the two
   // leading positionals, or fully flagged --baseline/--candidate.
@@ -497,6 +561,105 @@ int cmd_bench_diff(int argc, const char* const* argv) {
   return report.regression(options) ? 1 : 0;
 }
 
+/// Splits "[HOST:]PORT"; the host defaults to loopback.
+std::pair<std::string, int> parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  int port = -1;
+  try {
+    port = std::stoi(port_text);
+  } catch (const std::exception&) {
+  }
+  if (host.empty() || port < 0 || port > 65535) {
+    throw InvalidArgumentError("bad endpoint (want [HOST:]PORT): " + spec);
+  }
+  return {host, port};
+}
+
+/// --events-out recorder, in either wire format. Binary frames are
+/// buffered and flushed in 64 KiB chunks like the library writers.
+class EventRecorder {
+ public:
+  void open(const std::string& path, bool wire) {
+    file_.open(path, std::ios::binary);
+    if (!file_) throw IoError("cannot open events file: " + path);
+    wire_ = wire;
+    if (wire_) {
+      serve::append_wire_header(buffer_);
+    } else {
+      serve::write_stream_header(file_);
+    }
+  }
+
+  void record(const serve::ServeEvent& event) {
+    if (!file_.is_open()) return;
+    if (wire_) {
+      serve::append_wire_frame(buffer_, event);
+      if (buffer_.size() >= std::size_t{64} * 1024) flush_buffer();
+    } else {
+      serve::write_serve_event(file_, event);
+    }
+  }
+
+  void finish() {
+    if (file_.is_open() && wire_ && !buffer_.empty()) flush_buffer();
+  }
+
+ private:
+  void flush_buffer() {
+    file_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+
+  std::ofstream file_;
+  bool wire_ = false;
+  std::string buffer_;
+};
+
+/// serve --connect: push the loadgen stream to a listening server.
+int run_connect_client(const std::string& endpoint,
+                       const serve::LoadGenConfig& load, bool wire) {
+  const auto [host, port] = parse_endpoint(endpoint);
+  serve::SocketClient client = serve::SocketClient::connect(host, port);
+  std::int64_t sent = 0;
+  std::int64_t bytes = 0;
+  std::string buffer;
+  const auto flush = [&] {
+    if (buffer.empty()) return;
+    bytes += static_cast<std::int64_t>(buffer.size());
+    client.send(buffer);
+    buffer.clear();
+  };
+  if (wire) {
+    serve::append_wire_header(buffer);
+    sent = serve::generate_events(load, [&](const serve::ServeEvent& e) {
+      serve::append_wire_frame(buffer, e);
+      if (buffer.size() >= std::size_t{64} * 1024) flush();
+      return true;
+    });
+  } else {
+    std::ostringstream header;
+    serve::write_stream_header(header);
+    buffer = header.str();
+    sent = serve::generate_events(load, [&](const serve::ServeEvent& e) {
+      std::ostringstream line;
+      serve::write_serve_event(line, e);
+      buffer += line.str();
+      if (buffer.size() >= std::size_t{64} * 1024) flush();
+      return true;
+    });
+  }
+  flush();
+  client.close();
+  std::cout << "sent " << sent << " events (" << bytes << " bytes, "
+            << (wire ? "binary" : "jsonl") << ") to " << host << ":" << port
+            << '\n';
+  return 0;
+}
+
 int cmd_serve(int argc, const char* const* argv) {
   io::CliParser cli(
       "Long-running streaming auction engine: shards rounds across worker "
@@ -505,8 +668,26 @@ int cmd_serve(int argc, const char* const* argv) {
       "stream (--replay). --verify batch-compares every completed "
       "loadgen round against the batch online mechanism (the "
       "streaming/batch equivalence oracle); exit 1 on divergence.");
-  cli.add_string("replay", "", "replay a recorded JSONL event stream");
+  cli.add_string("replay", "",
+                 "replay a recorded event stream (mcs.serve.v1 JSONL or "
+                 "mcs.serve.b1 binary, autodetected)");
   cli.add_switch("loadgen", "synthesize traffic (default when no --replay)");
+  cli.add_string("listen", "",
+                 "serve events arriving over TCP: [HOST:]PORT (0 = pick an "
+                 "ephemeral port); each connection carries one stream, "
+                 "JSONL or binary per connection (autodetected)");
+  cli.add_int("listen-conns", 1,
+              "listen: drain after this many client connections have been "
+              "accepted (their streams are still read to EOF)");
+  cli.add_string("connect", "",
+                 "act as a load client instead of serving: push the "
+                 "loadgen stream to a listening server at [HOST:]PORT");
+  cli.add_switch("wire",
+                 "use the mcs.serve.b1 binary wire format for --events-out "
+                 "and --connect (--replay and --listen autodetect)");
+  cli.add_int("batch", 1,
+              "producer-side batch size: events buffered per shard before "
+              "one queue handoff (1 = per-event submit)");
   cli.add_int("rounds", 64, "loadgen: rounds to stream");
   cli.add_int("slots", 50, "loadgen: slots per round (m)");
   cli.add_double("lambda", 6.0, "loadgen: smartphone arrival rate per slot");
@@ -578,6 +759,11 @@ int cmd_serve(int argc, const char* const* argv) {
     config.greedy.reserve_price = Money::from_double(reserve);
   }
   config.greedy.allocate_only_profitable = cli.get_switch("profitable-only");
+  if (const std::int64_t batch = cli.get_int("batch"); batch >= 1) {
+    config.batch_size = static_cast<std::size_t>(batch);
+  } else {
+    throw InvalidArgumentError("--batch must be >= 1");
+  }
 
   serve::LoadGenConfig load;
   load.rounds = cli.get_int("rounds");
@@ -587,11 +773,26 @@ int cmd_serve(int argc, const char* const* argv) {
   load.workload.task_arrival_rate = cli.get_double("lambda-t");
 
   const std::string replay_path = cli.get_string("replay");
-  const bool use_loadgen = replay_path.empty();
+  const std::string listen_spec = cli.get_string("listen");
+  const std::string connect_spec = cli.get_string("connect");
+  if (!connect_spec.empty()) {
+    if (!replay_path.empty() || !listen_spec.empty()) {
+      throw InvalidArgumentError(
+          "--connect streams the load generator to a remote server; it "
+          "cannot be combined with --replay or --listen");
+    }
+    return run_connect_client(connect_spec, load, cli.get_switch("wire"));
+  }
+  const bool use_listen = !listen_spec.empty();
+  if (use_listen && !replay_path.empty()) {
+    throw InvalidArgumentError(
+        "--listen and --replay are both event sources; pick one");
+  }
+  const bool use_loadgen = replay_path.empty() && !use_listen;
   if (!use_loadgen && cli.get_switch("verify")) {
     throw InvalidArgumentError(
         "--verify regenerates rounds from loadgen seeds; it cannot be "
-        "combined with --replay");
+        "combined with --replay or --listen");
   }
 
   const std::string stats_path = cli.get_string("stats-out");
@@ -600,7 +801,7 @@ int cmd_serve(int argc, const char* const* argv) {
   if (target_eps > 0.0 && !use_loadgen) {
     throw InvalidArgumentError(
         "--target-eps paces the load generator; it cannot be combined "
-        "with --replay");
+        "with --replay or --listen");
   }
   // Any live flag turns on the wall-clock plane (it is off by default so
   // the deterministic plane never pays for clock reads it does not need).
@@ -687,19 +888,24 @@ int cmd_serve(int argc, const char* const* argv) {
           econ.get(), econ_file.is_open() ? &econ_file : nullptr);
     }
 
+    // Producer-side batching: one ShardBatcher per (single) producer; the
+    // replay path batches internally instead.
+    std::unique_ptr<serve::ShardBatcher> batcher;
+    if (config.batch_size > 1 && (use_loadgen || use_listen)) {
+      batcher = std::make_unique<serve::ShardBatcher>(engine);
+    }
+    EventRecorder recorder;
+    if (const std::string events_path = cli.get_string("events-out");
+        !events_path.empty()) {
+      recorder.open(events_path, cli.get_switch("wire"));
+    }
+
     if (use_loadgen) {
-      std::ofstream events_file;
-      const std::string events_path = cli.get_string("events-out");
-      if (!events_path.empty()) {
-        events_file.open(events_path);
-        if (!events_file) {
-          throw IoError("cannot open events file: " + events_path);
-        }
-        serve::write_stream_header(events_file);
-      }
       const auto submit = [&](const serve::ServeEvent& e) {
-        if (events_file.is_open()) serve::write_serve_event(events_file, e);
-        return engine.submit(e) == serve::SubmitStatus::kAccepted;
+        recorder.record(e);
+        const serve::SubmitStatus status =
+            batcher ? batcher->add(e) : engine.submit(e);
+        return status == serve::SubmitStatus::kAccepted;
       };
       if (target_eps > 0.0) {
         serve::PaceConfig pace;
@@ -713,14 +919,56 @@ int cmd_serve(int argc, const char* const* argv) {
           return true;
         });
       }
+    } else if (use_listen) {
+      const auto [host, port] = parse_endpoint(listen_spec);
+      serve::SocketServerConfig socket_config;
+      socket_config.host = host;
+      socket_config.port = static_cast<std::uint16_t>(port);
+      // The server's reader threads share this sink; one lock serializes
+      // the recorder and the batcher (both single-producer by contract).
+      std::mutex sink_mutex;
+      std::int64_t socket_shed = 0;
+      serve::SocketServer server(
+          socket_config, [&](const serve::ServeEvent& e) {
+            const std::lock_guard<std::mutex> lock(sink_mutex);
+            recorder.record(e);
+            const serve::SubmitStatus status =
+                batcher ? batcher->add(e) : engine.submit(e);
+            if (status == serve::SubmitStatus::kRejectedQueueFull) {
+              ++socket_shed;
+            }
+          });
+      server.start();
+      const std::int64_t want_conns =
+          std::max<std::int64_t>(cli.get_int("listen-conns"), 1);
+      std::cout << "listening on " << host << ":" << server.port()
+                << ", draining after " << want_conns << " connection(s)\n"
+                << std::flush;
+      while (server.stats().connections < want_conns) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      server.drain();
+      const serve::SocketServerStats socket_stats = server.stats();
+      offered = socket_stats.events;
+      shed = socket_shed;
+      if (socket_stats.decode_errors > 0) {
+        std::cout << socket_stats.decode_errors
+                  << " connection(s) aborted on malformed or truncated "
+                     "input\n";
+      }
     } else {
-      std::ifstream stream(replay_path);
+      std::ifstream stream(replay_path, std::ios::binary);
       if (!stream) throw IoError("cannot open event stream: " + replay_path);
       const serve::ReplayStats replayed =
-          serve::replay_event_stream(stream, engine);
+          serve::replay_event_stream(stream, engine, config.batch_size > 1);
       offered = replayed.events;
       shed = replayed.shed;
     }
+    if (batcher) {
+      batcher->flush();
+      shed = batcher->rejected_events();  // exact under batch granularity
+    }
+    recorder.finish();
     engine.drain();
     if (publisher) publisher->stop();  // flushes the final tail snapshot
     if (econ_file.is_open() && !publisher) {
@@ -765,7 +1013,10 @@ int cmd_serve(int argc, const char* const* argv) {
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
           .count();
   telemetry.finish({{"tool", "mcs_cli serve"},
-                    {"source", use_loadgen ? "loadgen" : replay_path},
+                    {"source", use_loadgen
+                                   ? std::string("loadgen")
+                                   : (use_listen ? "listen " + listen_spec
+                                                 : replay_path)},
                     {"shards", std::to_string(config.shards)}});
 
   Money total_paid;
@@ -1077,6 +1328,7 @@ int dispatch(const std::string& subcommand, int argc,
   if (subcommand == "replay") return cmd_replay(argc, argv);
   if (subcommand == "explain") return cmd_explain(argc, argv);
   if (subcommand == "serve") return cmd_serve(argc, argv);
+  if (subcommand == "transcode") return cmd_transcode(argc, argv);
   if (subcommand == "econ-report") return cmd_econ_report(argc, argv);
   if (subcommand == "trace-report") return cmd_trace_report(argc, argv);
   if (subcommand == "bench-diff") return cmd_bench_diff(argc, argv);
